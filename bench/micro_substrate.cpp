@@ -1,0 +1,184 @@
+// google-benchmark micro suite for the substrate (ablation support,
+// DESIGN.md §6.3): sparse solver comparison, CNN kernel throughput,
+// Algorithm 1 cost, and the golden engine's per-step cost.
+#include <benchmark/benchmark.h>
+
+#include "core/spatial.hpp"
+#include "core/temporal.hpp"
+#include "nn/module.hpp"
+#include "nn/ops.hpp"
+#include "pdn/power_grid.hpp"
+#include "sim/transient.hpp"
+#include "sparse/cholesky.hpp"
+#include "sparse/pcg.hpp"
+#include "sparse/random_walk.hpp"
+#include "util/rng.hpp"
+#include "vectors/generator.hpp"
+
+namespace {
+
+using namespace pdnn;
+
+sparse::CsrMatrix grid_matrix(int n) {
+  std::vector<sparse::Triplet> t;
+  const auto id = [n](int r, int c) { return r * n + c; };
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      t.push_back({id(r, c), id(r, c), 0.05});
+      const auto stamp = [&](int a, int b) {
+        t.push_back({a, a, 1.0});
+        t.push_back({b, b, 1.0});
+        t.push_back({a, b, -1.0});
+        t.push_back({b, a, -1.0});
+      };
+      if (c + 1 < n) stamp(id(r, c), id(r, c + 1));
+      if (r + 1 < n) stamp(id(r, c), id(r + 1, c));
+    }
+  }
+  return sparse::CsrMatrix::from_triplets(n * n, t);
+}
+
+std::vector<double> random_rhs(int n) {
+  util::Rng rng(7);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (double& v : b) v = rng.normal();
+  return b;
+}
+
+void BM_CholeskyFactor(benchmark::State& state) {
+  const auto a = grid_matrix(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    sparse::BandCholesky chol;
+    chol.factor(a);
+    benchmark::DoNotOptimize(chol.band());
+  }
+  state.SetLabel(std::to_string(a.rows()) + " nodes");
+}
+BENCHMARK(BM_CholeskyFactor)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const auto a = grid_matrix(static_cast<int>(state.range(0)));
+  sparse::BandCholesky chol;
+  chol.factor(a);
+  const auto b = random_rhs(a.rows());
+  std::vector<double> x;
+  for (auto _ : state) {
+    chol.solve(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetLabel(std::to_string(a.rows()) + " nodes");
+}
+BENCHMARK(BM_CholeskySolve)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_PcgSolve(benchmark::State& state) {
+  const auto a = grid_matrix(static_cast<int>(state.range(0)));
+  const bool ic0 = state.range(1) != 0;
+  std::unique_ptr<sparse::Preconditioner> m;
+  if (ic0) {
+    m = std::make_unique<sparse::Ic0Preconditioner>(a);
+  } else {
+    m = std::make_unique<sparse::JacobiPreconditioner>(a);
+  }
+  const auto b = random_rhs(a.rows());
+  for (auto _ : state) {
+    std::vector<double> x(static_cast<std::size_t>(a.rows()), 0.0);
+    const auto stats = sparse::pcg_solve(a, *m, b, x, 1e-9, 5000);
+    benchmark::DoNotOptimize(stats.iterations);
+  }
+  state.SetLabel(std::string(ic0 ? "ic0" : "jacobi") + ", " +
+                 std::to_string(a.rows()) + " nodes");
+}
+BENCHMARK(BM_PcgSolve)->Args({32, 0})->Args({32, 1})->Args({64, 0})->Args({64, 1});
+
+void BM_RandomWalkNode(benchmark::State& state) {
+  // Historical baseline [Qian et al. 2006]: per-node Monte-Carlo solve.
+  const auto a = grid_matrix(static_cast<int>(state.range(0)));
+  const sparse::RandomWalkSolver walker(a);
+  const auto b = random_rhs(a.rows());
+  util::Rng rng(11);
+  sparse::RandomWalkOptions opt;
+  opt.walks = 500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(walker.solve_node(b, a.rows() / 2, rng, opt));
+  }
+  state.SetLabel(std::to_string(a.rows()) + " nodes, 500 walks");
+}
+BENCHMARK(BM_RandomWalkNode)->Arg(32)->Arg(64);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int hw = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  nn::Conv2d conv(8, 8, 3, 1, 1, nn::PadMode::kReplicate, rng);
+  nn::Tensor x({1, 8, hw, hw});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(rng.uniform());
+  }
+  nn::NoGradGuard guard;
+  for (auto _ : state) {
+    const nn::Var y = conv.forward(nn::Var(x));
+    benchmark::DoNotOptimize(y.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * hw * hw * 8 * 8 * 9);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TemporalCompression(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  util::Rng rng(4);
+  std::vector<double> totals(static_cast<std::size_t>(steps));
+  for (double& v : totals) v = rng.uniform(1.0, 4.0);
+  core::TemporalCompressionOptions opt;
+  opt.rate = 0.15;
+  for (auto _ : state) {
+    const auto result = core::compress_temporal(totals, opt);
+    benchmark::DoNotOptimize(result.kept.size());
+  }
+}
+BENCHMARK(BM_TemporalCompression)->Arg(80)->Arg(400)->Arg(2000);
+
+pdn::DesignSpec bench_spec() {
+  pdn::DesignSpec s;
+  s.name = "bench";
+  s.tile_rows = 16;
+  s.tile_cols = 16;
+  s.nodes_per_tile = 2;
+  s.top_stride = 4;
+  s.bump_pitch = 2;
+  s.num_loads = 128;
+  s.unit_current = 2e-3;
+  s.seed = 12;
+  return s;
+}
+
+void BM_SpatialAggregation(benchmark::State& state) {
+  const pdn::PowerGrid grid(bench_spec());
+  const core::SpatialCompressor sc(grid);
+  vectors::VectorGenParams params;
+  params.num_steps = 80;
+  vectors::TestVectorGenerator gen(grid, params, 5);
+  const auto trace = gen.generate();
+  for (auto _ : state) {
+    const auto maps = sc.current_maps(trace);
+    benchmark::DoNotOptimize(maps.size());
+  }
+}
+BENCHMARK(BM_SpatialAggregation);
+
+void BM_TransientVector(benchmark::State& state) {
+  const pdn::PowerGrid grid(bench_spec());
+  sim::TransientSimulator simulator(grid, {});
+  vectors::VectorGenParams params;
+  params.num_steps = 40;
+  vectors::TestVectorGenerator gen(grid, params, 6);
+  const auto trace = gen.generate();
+  for (auto _ : state) {
+    const auto result = simulator.simulate(trace);
+    benchmark::DoNotOptimize(result.tile_worst_noise.data());
+  }
+  state.SetLabel(std::to_string(grid.num_nodes()) + " nodes x 40 steps");
+}
+BENCHMARK(BM_TransientVector);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Decap what-if: a pure-substrate example using the golden engine to sweep
+// design knobs — on-die decap density and package inductance — and observe
+// their effect on worst-case dynamic noise (the package/die resonance the
+// paper's introduction identifies as the reason dynamic sign-off matters).
+//
+// Run:  ./decap_whatif
+#include <cstdio>
+
+#include "pdn/power_grid.hpp"
+#include "sim/transient.hpp"
+#include "vectors/generator.hpp"
+
+namespace {
+
+pdnn::pdn::DesignSpec base_spec() {
+  pdnn::pdn::DesignSpec s;
+  s.name = "whatif";
+  s.tile_rows = 12;
+  s.tile_cols = 12;
+  s.nodes_per_tile = 2;
+  s.num_loads = 70;
+  s.unit_current = 8e-3;
+  s.seed = 9;
+  return s;
+}
+
+/// Worst-case noise (max and mean over tiles) for a spec, averaged over a
+/// few vectors from a fixed stream so sweeps are comparable.
+std::pair<double, double> measure(const pdnn::pdn::DesignSpec& spec) {
+  using namespace pdnn;
+  const pdn::PowerGrid grid(spec);
+  sim::TransientSimulator simulator(grid, {});
+  vectors::VectorGenParams params;
+  vectors::TestVectorGenerator gen(grid, params, 1234);
+  double max_wn = 0.0, mean_wn = 0.0;
+  const int vectors = 4;
+  for (int i = 0; i < vectors; ++i) {
+    const auto result = simulator.simulate(gen.generate());
+    max_wn = std::max(max_wn,
+                      static_cast<double>(result.tile_worst_noise.max_value()));
+    mean_wn += result.tile_worst_noise.mean();
+  }
+  return {max_wn, mean_wn / vectors};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("What-if analysis with the golden transient engine\n");
+  std::printf("(worst-case noise over 4 fixed random vectors)\n\n");
+
+  std::printf("1) On-die decap density sweep (pkg_l = 40pH):\n");
+  std::printf("%14s %12s %12s\n", "decap/node(fF)", "MaxWN(mV)", "MeanWN(mV)");
+  for (const double decap_ff : {0.5, 2.0, 4.0, 8.0, 16.0}) {
+    auto spec = base_spec();
+    spec.decap_per_node = decap_ff * 1e-15;
+    const auto [max_wn, mean_wn] = measure(spec);
+    std::printf("%14.1f %12.1f %12.1f\n", decap_ff, max_wn * 1e3, mean_wn * 1e3);
+  }
+
+  std::printf("\n2) Package inductance sweep (decap = 4fF/node):\n");
+  std::printf("%14s %12s %12s\n", "pkg_L(pH)", "MaxWN(mV)", "MeanWN(mV)");
+  for (const double l_ph : {10.0, 20.0, 40.0, 80.0, 160.0}) {
+    auto spec = base_spec();
+    spec.pkg_l = l_ph * 1e-12;
+    const auto [max_wn, mean_wn] = measure(spec);
+    std::printf("%14.0f %12.1f %12.1f\n", l_ph, max_wn * 1e3, mean_wn * 1e3);
+  }
+
+  std::printf("\n3) Bump-array density sweep:\n");
+  std::printf("%14s %12s %12s\n", "bump pitch", "MaxWN(mV)", "MeanWN(mV)");
+  for (const int pitch : {2, 3, 4, 5}) {
+    auto spec = base_spec();
+    spec.bump_pitch = pitch;
+    const auto [max_wn, mean_wn] = measure(spec);
+    std::printf("%14d %12.1f %12.1f\n", pitch, max_wn * 1e3, mean_wn * 1e3);
+  }
+
+  std::printf("\nExpected physics: more decap and lower package inductance "
+              "suppress dynamic noise. Bump-pitch effects are non-monotone at "
+              "this die size: fewer bumps raise the supply impedance, but the "
+              "noise also depends on where the surviving bumps land relative "
+              "to the activity clusters.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Quickstart: the complete public-API flow in ~100 lines.
+//
+//   1. Describe a PDN design and calibrate its noise level.
+//   2. Generate random test vectors and label them with the golden engine.
+//   3. Compress (spatially + temporally per Algorithm 1) and train the
+//      three-subnet CNN.
+//   4. Predict the worst-case noise map for a new vector and compare.
+//
+// Run:  ./quickstart
+#include <cstdio>
+
+#include "core/dataset.hpp"
+#include "core/pipeline.hpp"
+#include "core/trainer.hpp"
+#include "eval/metrics.hpp"
+#include "sim/calibrate.hpp"
+#include "util/io.hpp"
+
+int main() {
+  using namespace pdnn;
+
+  // --- 1. Design -----------------------------------------------------------
+  pdn::DesignSpec spec;
+  spec.name = "quickstart";
+  spec.tile_rows = 12;           // 12 x 12 tile array
+  spec.tile_cols = 12;
+  spec.nodes_per_tile = 2;       // 24 x 24 bottom power grid + top metal
+  spec.num_loads = 60;
+  spec.target_mean_noise = 0.1;  // calibrate to 100 mV mean worst-case noise
+  spec.seed = 1;
+
+  vectors::VectorGenParams gen_params;  // 80 steps at dt = 1 ps
+  spec = sim::calibrate_design(spec, gen_params);
+
+  const pdn::PowerGrid grid(spec);
+  sim::TransientSimulator simulator(grid, {});
+  std::printf("design: %d nodes, %d loads, %zu bumps, %dx%d tiles\n",
+              grid.num_nodes(), spec.num_loads, grid.bumps().size(),
+              spec.tile_rows, spec.tile_cols);
+
+  // --- 2. Golden dataset ---------------------------------------------------
+  vectors::TestVectorGenerator gen(grid, gen_params, spec.seed);
+  const core::RawDataset raw =
+      core::simulate_dataset(grid, simulator, gen, /*num_vectors=*/32);
+  std::printf("simulated 32 vectors in %.2fs (golden engine)\n",
+              raw.total_sim_seconds);
+
+  // --- 3. Compress + train -------------------------------------------------
+  core::TemporalCompressionOptions temporal;
+  temporal.rate = 0.15;  // keep 15%% of the time steps (Algorithm 1)
+  const core::CompiledDataset data = core::compile_dataset(raw, temporal, {});
+  std::printf("split: %zu train / %zu val / %zu test (expansion strategy)\n",
+              data.split.train.size(), data.split.val.size(),
+              data.split.test.size());
+
+  core::ModelConfig cfg;
+  cfg.distance_channels = static_cast<int>(grid.bumps().size());
+  cfg.tile_rows = spec.tile_rows;
+  cfg.tile_cols = spec.tile_cols;
+  cfg.current_scale = data.current_scale;
+  cfg.noise_scale = data.noise_scale;
+  core::WorstCaseNoiseNet model(cfg);
+
+  core::TrainOptions topt;
+  topt.epochs = 50;
+  topt.lr_decay = 0.97f;
+  topt.lr = 1e-3f;
+  const core::TrainReport report = core::train_model(model, data, topt);
+  std::printf("trained %lld parameters for %d epochs in %.1fs "
+              "(val loss %.3f -> %.3f)\n",
+              static_cast<long long>(model.num_parameters()), topt.epochs,
+              report.seconds, report.val_loss.front(), report.val_loss.back());
+
+  // --- 4. Predict a brand-new vector --------------------------------------
+  core::PipelineOptions popt;
+  popt.temporal = temporal;
+  core::WorstCasePipeline pipeline(grid, model, popt);
+
+  const vectors::CurrentTrace vector = gen.generate();  // unseen vector
+  core::PredictionTiming timing;
+  const util::MapF predicted = pipeline.predict(vector, &timing);
+  const sim::TransientResult golden = simulator.simulate(vector);
+
+  eval::MapEvaluator evaluator(spec.vdd);
+  evaluator.add(predicted, golden.tile_worst_noise);
+  const auto acc = evaluator.accuracy();
+  std::printf("\nnew vector: predicted in %.4fs (golden solve %.3fs, %.0fx)\n",
+              timing.total_seconds, golden.solve_seconds,
+              golden.solve_seconds / timing.total_seconds);
+  std::printf("mean AE %.2fmV | mean RE %.2f%% | worst-case noise: "
+              "golden %.1fmV vs predicted %.1fmV\n",
+              acc.mean_ae * 1e3, acc.mean_re * 1e2,
+              golden.tile_worst_noise.max_value() * 1e3,
+              predicted.max_value() * 1e3);
+  std::printf("\npredicted worst-case noise map:\n%s",
+              util::ascii_heatmap(predicted, 48).c_str());
+  return 0;
+}

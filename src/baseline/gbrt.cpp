@@ -1,0 +1,187 @@
+#include "baseline/gbrt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace pdnn::baseline {
+
+namespace {
+
+float mean_of(const std::vector<float>& y, const std::vector<int>& rows) {
+  double acc = 0.0;
+  for (int r : rows) acc += y[static_cast<std::size_t>(r)];
+  return rows.empty() ? 0.0f : static_cast<float>(acc / rows.size());
+}
+
+}  // namespace
+
+int RegressionTree::build(const std::vector<std::vector<float>>& x,
+                          const std::vector<float>& y, std::vector<int> rows,
+                          int depth, int max_depth, int min_samples_leaf) {
+  const int node = static_cast<int>(feature_.size());
+  feature_.push_back(-1);
+  threshold_.push_back(0.0f);
+  value_.push_back(mean_of(y, rows));
+  left_.push_back(-1);
+  right_.push_back(-1);
+
+  if (depth >= max_depth ||
+      static_cast<int>(rows.size()) < 2 * min_samples_leaf) {
+    return node;
+  }
+
+  // Exact greedy split: for each feature, sort rows by value and scan the
+  // prefix sums; the squared-error gain of a split is
+  // S_l^2/n_l + S_r^2/n_r - S^2/n (larger is better).
+  const int num_features = static_cast<int>(x[0].size());
+  const double total_sum = [&] {
+    double s = 0.0;
+    for (int r : rows) s += y[static_cast<std::size_t>(r)];
+    return s;
+  }();
+  const double n = static_cast<double>(rows.size());
+  const double base_score = total_sum * total_sum / n;
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  std::vector<int> sorted = rows;
+  for (int f = 0; f < num_features; ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      return x[static_cast<std::size_t>(a)][static_cast<std::size_t>(f)] <
+             x[static_cast<std::size_t>(b)][static_cast<std::size_t>(f)];
+    });
+    double left_sum = 0.0;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      left_sum += y[static_cast<std::size_t>(sorted[i])];
+      const float cur =
+          x[static_cast<std::size_t>(sorted[i])][static_cast<std::size_t>(f)];
+      const float nxt =
+          x[static_cast<std::size_t>(sorted[i + 1])][static_cast<std::size_t>(f)];
+      if (cur == nxt) continue;  // cannot split between equal values
+      const double nl = static_cast<double>(i + 1);
+      const double nr = n - nl;
+      if (nl < min_samples_leaf || nr < min_samples_leaf) continue;
+      const double right_sum = total_sum - left_sum;
+      const double gain =
+          left_sum * left_sum / nl + right_sum * right_sum / nr - base_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5f * (cur + nxt);
+      }
+    }
+  }
+  if (best_feature < 0) return node;
+
+  std::vector<int> left_rows, right_rows;
+  for (int r : rows) {
+    if (x[static_cast<std::size_t>(r)][static_cast<std::size_t>(best_feature)] <=
+        best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  feature_[static_cast<std::size_t>(node)] = best_feature;
+  threshold_[static_cast<std::size_t>(node)] = best_threshold;
+  left_[static_cast<std::size_t>(node)] = build(
+      x, y, std::move(left_rows), depth + 1, max_depth, min_samples_leaf);
+  right_[static_cast<std::size_t>(node)] = build(
+      x, y, std::move(right_rows), depth + 1, max_depth, min_samples_leaf);
+  return node;
+}
+
+void RegressionTree::fit(const std::vector<std::vector<float>>& x,
+                         const std::vector<float>& y,
+                         const std::vector<int>& rows, int max_depth,
+                         int min_samples_leaf) {
+  PDN_CHECK(!rows.empty(), "RegressionTree: empty row set");
+  feature_.clear();
+  threshold_.clear();
+  value_.clear();
+  left_.clear();
+  right_.clear();
+  build(x, y, rows, 0, max_depth, min_samples_leaf);
+}
+
+float RegressionTree::predict(const std::vector<float>& features) const {
+  int node = 0;
+  while (feature_[static_cast<std::size_t>(node)] >= 0) {
+    const int f = feature_[static_cast<std::size_t>(node)];
+    node = features[static_cast<std::size_t>(f)] <=
+                   threshold_[static_cast<std::size_t>(node)]
+               ? left_[static_cast<std::size_t>(node)]
+               : right_[static_cast<std::size_t>(node)];
+  }
+  return value_[static_cast<std::size_t>(node)];
+}
+
+GradientBoostedTrees::GradientBoostedTrees(GbrtOptions options)
+    : options_(options) {
+  PDN_CHECK(options.trees > 0 && options.max_depth >= 1, "GBRT: bad options");
+  PDN_CHECK(options.subsample > 0.0 && options.subsample <= 1.0,
+            "GBRT: subsample must be in (0, 1]");
+}
+
+void GradientBoostedTrees::fit(const std::vector<std::vector<float>>& x,
+                               const std::vector<float>& y) {
+  PDN_CHECK(!x.empty() && x.size() == y.size(), "GBRT: bad training data");
+  const int n = static_cast<int>(x.size());
+  util::Rng rng(options_.seed);
+
+  base_prediction_ = 0.0f;
+  for (float v : y) base_prediction_ += v;
+  base_prediction_ /= static_cast<float>(n);
+
+  std::vector<float> prediction(static_cast<std::size_t>(n), base_prediction_);
+  std::vector<float> residual(static_cast<std::size_t>(n));
+  std::vector<int> all_rows(static_cast<std::size_t>(n));
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(options_.trees));
+  const int sample_count =
+      std::max(2 * options_.min_samples_leaf,
+               static_cast<int>(std::lround(options_.subsample * n)));
+  for (int t = 0; t < options_.trees; ++t) {
+    for (int i = 0; i < n; ++i) {
+      residual[static_cast<std::size_t>(i)] =
+          y[static_cast<std::size_t>(i)] - prediction[static_cast<std::size_t>(i)];
+    }
+    std::vector<int> rows = all_rows;
+    if (sample_count < n) {
+      rng.shuffle(rows);
+      rows.resize(static_cast<std::size_t>(sample_count));
+    }
+    RegressionTree tree;
+    tree.fit(x, residual, rows, options_.max_depth, options_.min_samples_leaf);
+    for (int i = 0; i < n; ++i) {
+      prediction[static_cast<std::size_t>(i)] +=
+          options_.learning_rate * tree.predict(x[static_cast<std::size_t>(i)]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  training_mse_ = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = static_cast<double>(y[static_cast<std::size_t>(i)]) -
+                     prediction[static_cast<std::size_t>(i)];
+    training_mse_ += d * d;
+  }
+  training_mse_ /= n;
+}
+
+float GradientBoostedTrees::predict(const std::vector<float>& features) const {
+  float acc = base_prediction_;
+  for (const RegressionTree& tree : trees_) {
+    acc += options_.learning_rate * tree.predict(features);
+  }
+  return acc;
+}
+
+}  // namespace pdnn::baseline

@@ -1,0 +1,76 @@
+// Gradient-boosted regression trees — the XGBoost-style baseline family.
+//
+// Several of the prior works the paper discusses predict IR drop per node or
+// per tile with boosted trees over hand-crafted features: XGBIR [10],
+// IncPIRD [12], and the dynamic ECO predictors [14, 15]. This is a compact
+// exact-greedy GBRT (squared loss, depth-limited trees, shrinkage,
+// subsampling) used by the ablation bench as the non-CNN machine-learning
+// baseline for worst-case noise prediction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pdnn::baseline {
+
+struct GbrtOptions {
+  int trees = 120;
+  int max_depth = 4;
+  float learning_rate = 0.1f;   ///< shrinkage per tree
+  double subsample = 0.8;       ///< row subsampling per tree
+  int min_samples_leaf = 4;
+  std::uint64_t seed = 33;
+};
+
+/// One regression tree stored as flat arrays (internal nodes + leaves).
+class RegressionTree {
+ public:
+  /// Fit to (rows x features) data against residual targets, minimizing
+  /// squared error with exact greedy splits.
+  void fit(const std::vector<std::vector<float>>& x,
+           const std::vector<float>& y, const std::vector<int>& rows,
+           int max_depth, int min_samples_leaf);
+
+  float predict(const std::vector<float>& features) const;
+
+  int node_count() const { return static_cast<int>(feature_.size()); }
+
+ private:
+  int build(const std::vector<std::vector<float>>& x,
+            const std::vector<float>& y, std::vector<int> rows, int depth,
+            int max_depth, int min_samples_leaf);
+
+  // node i: if feature_[i] < 0 it is a leaf with value value_[i]; otherwise
+  // go left when x[feature_[i]] <= threshold_[i].
+  std::vector<int> feature_;
+  std::vector<float> threshold_;
+  std::vector<float> value_;
+  std::vector<int> left_;
+  std::vector<int> right_;
+};
+
+/// The boosted ensemble.
+class GradientBoostedTrees {
+ public:
+  explicit GradientBoostedTrees(GbrtOptions options = {});
+
+  /// Fit on a dense feature matrix (one row per sample).
+  void fit(const std::vector<std::vector<float>>& x,
+           const std::vector<float>& y);
+
+  float predict(const std::vector<float>& features) const;
+
+  /// Mean squared training error after fitting (for diagnostics).
+  double training_mse() const { return training_mse_; }
+  int tree_count() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  GbrtOptions options_;
+  float base_prediction_ = 0.0f;
+  std::vector<RegressionTree> trees_;
+  double training_mse_ = 0.0;
+};
+
+}  // namespace pdnn::baseline

@@ -1,0 +1,173 @@
+#include "baseline/gbrt_noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pdnn::baseline {
+
+GbrtNoisePredictor::GbrtNoisePredictor(const pdn::PowerGrid& grid,
+                                       GbrtOptions options)
+    : grid_(grid), model_(options) {
+  const auto& spec = grid.spec();
+  vdd_ = static_cast<float>(spec.vdd);
+  bump_distance_ = util::MapF(spec.tile_rows, spec.tile_cols, 0.0f);
+  bump_count_ = util::MapF(spec.tile_rows, spec.tile_cols, 0.0f);
+  const double tile_span = spec.nodes_per_tile;
+  for (int tr = 0; tr < spec.tile_rows; ++tr) {
+    for (int tc = 0; tc < spec.tile_cols; ++tc) {
+      double best = 1e30;
+      int near = 0;
+      for (const pdn::BumpBranch& b : grid.bumps()) {
+        const double dr = (grid.tile_center_row(tr) - b.row) / tile_span;
+        const double dc = (grid.tile_center_col(tc) - b.col) / tile_span;
+        const double d = std::sqrt(dr * dr + dc * dc);
+        best = std::min(best, d);
+        if (d <= 4.0) ++near;
+      }
+      bump_distance_(tr, tc) = static_cast<float>(best);
+      bump_count_(tr, tc) = static_cast<float>(near);
+    }
+  }
+}
+
+GbrtNoisePredictor::Stats GbrtNoisePredictor::compute_stats(
+    const core::RawSample& sample) const {
+  const int rows = sample.truth.rows();
+  const int cols = sample.truth.cols();
+  const std::size_t tiles = static_cast<std::size_t>(rows) * cols;
+  const double n = static_cast<double>(sample.current_maps.size());
+
+  Stats s;
+  s.peak = util::MapF(rows, cols, 0.0f);
+  s.mean = util::MapF(rows, cols, 0.0f);
+  s.msd = util::MapF(rows, cols, 0.0f);
+  std::vector<double> sq(tiles, 0.0);
+  for (const util::MapF& m : sample.current_maps) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < tiles; ++i) {
+      const float v = m.storage()[i];
+      s.peak.storage()[i] = std::max(s.peak.storage()[i], v);
+      s.mean.storage()[i] += v;
+      sq[i] += static_cast<double>(v) * v;
+      total += v;
+    }
+    s.global_peak = std::max(s.global_peak, total);
+  }
+  for (std::size_t i = 0; i < tiles; ++i) {
+    const double mu = s.mean.storage()[i] / n;
+    const double var = std::max(0.0, sq[i] / n - mu * mu);
+    s.mean.storage()[i] = static_cast<float>(mu);
+    s.msd.storage()[i] = static_cast<float>(mu + 3.0 * std::sqrt(var));
+  }
+  return s;
+}
+
+float GbrtNoisePredictor::box_sum(const util::MapF& map, int r, int c, int rad) {
+  float acc = 0.0f;
+  for (int rr = std::max(0, r - rad); rr <= std::min(map.rows() - 1, r + rad); ++rr) {
+    for (int cc = std::max(0, c - rad); cc <= std::min(map.cols() - 1, c + rad); ++cc) {
+      acc += map(rr, cc);
+    }
+  }
+  return acc;
+}
+
+std::vector<float> GbrtNoisePredictor::tile_features(
+    const core::RawSample& sample, int tr, int tc) const {
+  const Stats s = compute_stats(sample);
+  const float inv = 1.0f / current_scale_;
+  std::vector<float> f;
+  f.reserve(static_cast<std::size_t>(feature_count()));
+  f.push_back(s.peak(tr, tc) * inv);
+  f.push_back(s.mean(tr, tc) * inv);
+  f.push_back(s.msd(tr, tc) * inv);
+  f.push_back(box_sum(s.peak, tr, tc, 1) * inv);
+  f.push_back(box_sum(s.peak, tr, tc, 2) * inv);
+  f.push_back(box_sum(s.peak, tr, tc, 4) * inv);
+  f.push_back(box_sum(s.msd, tr, tc, 2) * inv);
+  f.push_back(box_sum(s.mean, tr, tc, 4) * inv);
+  f.push_back(bump_distance_(tr, tc));
+  f.push_back(bump_count_(tr, tc));
+  f.push_back(static_cast<float>(s.global_peak) * inv);
+  f.push_back(static_cast<float>(tr * sample.truth.cols() + tc) /
+              static_cast<float>(sample.truth.rows() * sample.truth.cols()));
+  PDN_CHECK(static_cast<int>(f.size()) == feature_count(),
+            "GbrtNoisePredictor: feature count drifted");
+  return f;
+}
+
+double GbrtNoisePredictor::train(const core::RawDataset& data,
+                                 const std::vector<int>& train_idx) {
+  PDN_CHECK(!train_idx.empty(), "GbrtNoisePredictor: empty training set");
+  util::WallTimer timer;
+  current_scale_ = data.current_scale;
+
+  std::vector<std::vector<float>> x;
+  std::vector<float> y;
+  for (int idx : train_idx) {
+    const core::RawSample& sample =
+        data.samples[static_cast<std::size_t>(idx)];
+    const Stats s = compute_stats(sample);
+    const float inv = 1.0f / current_scale_;
+    for (int tr = 0; tr < sample.truth.rows(); ++tr) {
+      for (int tc = 0; tc < sample.truth.cols(); ++tc) {
+        // Inline tile_features with the shared per-sample stats (avoids
+        // recomputing the temporal pass per tile).
+        std::vector<float> f;
+        f.reserve(static_cast<std::size_t>(feature_count()));
+        f.push_back(s.peak(tr, tc) * inv);
+        f.push_back(s.mean(tr, tc) * inv);
+        f.push_back(s.msd(tr, tc) * inv);
+        f.push_back(box_sum(s.peak, tr, tc, 1) * inv);
+        f.push_back(box_sum(s.peak, tr, tc, 2) * inv);
+        f.push_back(box_sum(s.peak, tr, tc, 4) * inv);
+        f.push_back(box_sum(s.msd, tr, tc, 2) * inv);
+        f.push_back(box_sum(s.mean, tr, tc, 4) * inv);
+        f.push_back(bump_distance_(tr, tc));
+        f.push_back(bump_count_(tr, tc));
+        f.push_back(static_cast<float>(s.global_peak) * inv);
+        f.push_back(static_cast<float>(tr * sample.truth.cols() + tc) /
+                    static_cast<float>(sample.truth.rows() *
+                                       sample.truth.cols()));
+        x.push_back(std::move(f));
+        y.push_back(sample.truth(tr, tc) / vdd_);
+      }
+    }
+  }
+  model_.fit(x, y);
+  return timer.seconds();
+}
+
+util::MapF GbrtNoisePredictor::predict(const core::RawSample& sample,
+                                       double* seconds) const {
+  util::WallTimer timer;
+  const Stats s = compute_stats(sample);
+  const float inv = 1.0f / current_scale_;
+  util::MapF out(sample.truth.rows(), sample.truth.cols(), 0.0f);
+  std::vector<float> f(static_cast<std::size_t>(feature_count()));
+  for (int tr = 0; tr < out.rows(); ++tr) {
+    for (int tc = 0; tc < out.cols(); ++tc) {
+      f[0] = s.peak(tr, tc) * inv;
+      f[1] = s.mean(tr, tc) * inv;
+      f[2] = s.msd(tr, tc) * inv;
+      f[3] = box_sum(s.peak, tr, tc, 1) * inv;
+      f[4] = box_sum(s.peak, tr, tc, 2) * inv;
+      f[5] = box_sum(s.peak, tr, tc, 4) * inv;
+      f[6] = box_sum(s.msd, tr, tc, 2) * inv;
+      f[7] = box_sum(s.mean, tr, tc, 4) * inv;
+      f[8] = bump_distance_(tr, tc);
+      f[9] = bump_count_(tr, tc);
+      f[10] = static_cast<float>(s.global_peak) * inv;
+      f[11] = static_cast<float>(tr * out.cols() + tc) /
+              static_cast<float>(out.rows() * out.cols());
+      out(tr, tc) = model_.predict(f) * vdd_;
+    }
+  }
+  if (seconds) *seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace pdnn::baseline

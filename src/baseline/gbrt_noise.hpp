@@ -1,0 +1,57 @@
+// Per-tile GBRT worst-case noise baseline.
+//
+// Mirrors the XGBoost-based dynamic IR predictors [14, 15]: each tile becomes
+// one training row with hand-crafted features — the tile's temporal current
+// statistics, box-aggregated neighborhood activity at several radii, bump
+// proximity, and the vector's global activity level — and the target is the
+// tile's worst-case noise. Used by the ablation bench as the non-CNN
+// baseline.
+#pragma once
+
+#include "baseline/gbrt.hpp"
+#include "core/dataset.hpp"
+#include "pdn/power_grid.hpp"
+#include "util/grid2d.hpp"
+
+namespace pdnn::baseline {
+
+class GbrtNoisePredictor {
+ public:
+  GbrtNoisePredictor(const pdn::PowerGrid& grid, GbrtOptions options = {});
+
+  /// Train on whole maps: every tile of every training sample is one row.
+  /// Returns the wall-clock training time in seconds.
+  double train(const core::RawDataset& data, const std::vector<int>& train_idx);
+
+  /// Predict the full worst-case noise map (volts).
+  util::MapF predict(const core::RawSample& sample,
+                     double* seconds = nullptr) const;
+
+  /// Feature vector of one tile (exposed for tests).
+  std::vector<float> tile_features(const core::RawSample& sample, int tr,
+                                   int tc) const;
+
+  static int feature_count() { return 12; }
+
+ private:
+  /// Per-tile temporal stats (max / mean / mu+3sigma) of a sample's maps.
+  struct Stats {
+    util::MapF peak;
+    util::MapF mean;
+    util::MapF msd;
+    double global_peak = 0.0;  ///< max over time of total current
+  };
+  Stats compute_stats(const core::RawSample& sample) const;
+
+  /// Box sum of a map over [r-rad, r+rad] x [c-rad, c+rad], clipped.
+  static float box_sum(const util::MapF& map, int r, int c, int rad);
+
+  const pdn::PowerGrid& grid_;
+  GradientBoostedTrees model_;
+  util::MapF bump_distance_;  ///< per-tile distance to the nearest bump
+  util::MapF bump_count_;     ///< bumps within a 4-tile radius
+  float current_scale_ = 1.0f;
+  float vdd_ = 1.0f;
+};
+
+}  // namespace pdnn::baseline

@@ -1,0 +1,204 @@
+#include "baseline/powernet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "nn/ops.hpp"
+#include "nn/optimizer.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pdnn::baseline {
+
+PowerNetModel::PowerNetModel(const PowerNetOptions& options, util::Rng& rng)
+    : conv1_(4, options.channels, 3, 1, 1, nn::PadMode::kZero, rng),
+      conv2_(options.channels, options.channels, 3, 1, 1, nn::PadMode::kZero, rng),
+      // Full-window convolution == fully connected layer over the crop.
+      fc1_(options.channels, 2 * options.channels, options.window, 1, 0,
+           nn::PadMode::kZero, rng),
+      fc2_(2 * options.channels, 1, 1, 1, 0, nn::PadMode::kZero, rng) {
+  register_module(&conv1_);
+  register_module(&conv2_);
+  register_module(&fc1_);
+  register_module(&fc2_);
+}
+
+nn::Var PowerNetModel::forward_tile(const nn::Var& input) {
+  nn::Var y = nn::relu(conv1_.forward(input));
+  y = nn::relu(conv2_.forward(y));
+  y = nn::relu(fc1_.forward(y));  // [J, 2C, 1, 1]
+  y = fc2_.forward(y);            // [J, 1, 1, 1]
+  return nn::batch_max(y);        // the "maximum CNN" stage: max over time
+}
+
+PowerNetRunner::PowerNetRunner(PowerNetOptions options, float current_scale,
+                               float vdd)
+    : options_(options),
+      current_scale_(current_scale),
+      vdd_(vdd),
+      rng_(options.seed),
+      model_(options, rng_) {
+  PDN_CHECK(options.window >= 3 && options.window % 2 == 1,
+            "PowerNet: window must be odd and >= 3");
+  PDN_CHECK(options.time_maps >= 1, "PowerNet: need at least one time map");
+}
+
+PowerNetFeatures PowerNetRunner::extract_features(
+    const core::RawSample& sample) const {
+  const int steps = static_cast<int>(sample.current_maps.size());
+  PDN_CHECK(steps > 0, "PowerNet: sample has no current maps");
+  const int rows = sample.current_maps.front().rows();
+  const int cols = sample.current_maps.front().cols();
+  const std::size_t tiles = static_cast<std::size_t>(rows) * cols;
+  const int j_count = options_.time_maps;
+
+  PowerNetFeatures f;
+  f.total_power = util::MapF(rows, cols, 0.0f);
+  f.toggle_rate = util::MapF(rows, cols, 0.0f);
+  f.leakage = util::MapF(rows, cols, 0.0f);
+
+  // Time-decomposed power maps: J contiguous window means.
+  f.window_power.assign(static_cast<std::size_t>(j_count),
+                        util::MapF(rows, cols, 0.0f));
+  for (int j = 0; j < j_count; ++j) {
+    const int lo = j * steps / j_count;
+    const int hi = std::max(lo + 1, (j + 1) * steps / j_count);
+    util::MapF& w = f.window_power[static_cast<std::size_t>(j)];
+    for (int k = lo; k < hi; ++k) {
+      const util::MapF& m = sample.current_maps[static_cast<std::size_t>(k)];
+      for (std::size_t i = 0; i < tiles; ++i) w.storage()[i] += m.storage()[i];
+    }
+    const float inv = 1.0f / static_cast<float>(hi - lo);
+    for (std::size_t i = 0; i < tiles; ++i) w.storage()[i] *= inv;
+  }
+
+  // Total mean power, leakage proxy (temporal min), toggle rate (fraction of
+  // steps whose delta exceeds 5% of the sample's peak tile current).
+  std::vector<float> min_v(tiles, std::numeric_limits<float>::max());
+  float peak = 1e-12f;
+  for (const util::MapF& m : sample.current_maps) {
+    peak = std::max(peak, m.max_value());
+  }
+  const float threshold = 0.05f * peak;
+  for (int k = 0; k < steps; ++k) {
+    const util::MapF& m = sample.current_maps[static_cast<std::size_t>(k)];
+    for (std::size_t i = 0; i < tiles; ++i) {
+      const float v = m.storage()[i];
+      f.total_power.storage()[i] += v;
+      min_v[i] = std::min(min_v[i], v);
+      if (k > 0) {
+        const float prev =
+            sample.current_maps[static_cast<std::size_t>(k - 1)].storage()[i];
+        if (std::abs(v - prev) > threshold) f.toggle_rate.storage()[i] += 1.0f;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < tiles; ++i) {
+    f.total_power.storage()[i] /= static_cast<float>(steps);
+    f.leakage.storage()[i] = min_v[i];
+    f.toggle_rate.storage()[i] /= static_cast<float>(steps - 1);
+  }
+  return f;
+}
+
+nn::Tensor PowerNetRunner::tile_input(const PowerNetFeatures& f, int tr,
+                                      int tc) const {
+  const int win = options_.window;
+  const int half = win / 2;
+  const int j_count = options_.time_maps;
+  const int rows = f.total_power.rows();
+  const int cols = f.total_power.cols();
+  const float inv = 1.0f / current_scale_;
+
+  nn::Tensor input({j_count, 4, win, win});
+  float* data = input.data();
+  const auto read = [&](const util::MapF& m, int r, int c, float scale) {
+    if (r < 0 || r >= rows || c < 0 || c >= cols) return 0.0f;  // zero pad
+    return m(r, c) * scale;
+  };
+  for (int j = 0; j < j_count; ++j) {
+    for (int ch = 0; ch < 4; ++ch) {
+      const util::MapF* src = nullptr;
+      float scale = inv;
+      switch (ch) {
+        case 0: src = &f.window_power[static_cast<std::size_t>(j)]; break;
+        case 1: src = &f.total_power; break;
+        case 2: src = &f.toggle_rate; scale = 1.0f; break;
+        default: src = &f.leakage; break;
+      }
+      for (int r = 0; r < win; ++r) {
+        for (int c = 0; c < win; ++c) {
+          *data++ = read(*src, tr - half + r, tc - half + c, scale);
+        }
+      }
+    }
+  }
+  return input;
+}
+
+double PowerNetRunner::train(const core::RawDataset& data,
+                             const std::vector<int>& train_idx, bool verbose) {
+  PDN_CHECK(!train_idx.empty(), "PowerNet::train: empty training set");
+  util::WallTimer timer;
+  nn::Adam optimizer(model_.parameters(), options_.lr);
+
+  // Pre-extract features once per sample.
+  std::vector<PowerNetFeatures> features;
+  features.reserve(train_idx.size());
+  for (int idx : train_idx) {
+    features.push_back(
+        extract_features(data.samples[static_cast<std::size_t>(idx)]));
+  }
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    std::int64_t count = 0;
+    for (std::size_t s = 0; s < train_idx.size(); ++s) {
+      const core::RawSample& sample =
+          data.samples[static_cast<std::size_t>(train_idx[s])];
+      const int rows = sample.truth.rows();
+      const int cols = sample.truth.cols();
+      for (int t = 0; t < options_.tiles_per_vector; ++t) {
+        const int tr = rng_.uniform_int(0, rows - 1);
+        const int tc = rng_.uniform_int(0, cols - 1);
+        const nn::Tensor input = tile_input(features[s], tr, tc);
+        const nn::Tensor target =
+            nn::Tensor::scalar(sample.truth(tr, tc) / vdd_).reshaped({1, 1, 1, 1});
+        optimizer.zero_grad();
+        nn::Var pred = model_.forward_tile(nn::Var(input));
+        nn::Var loss = nn::l1_loss(pred, target, nn::Reduction::kSum);
+        epoch_loss += loss.value().item();
+        ++count;
+        loss.backward();
+        optimizer.step();
+      }
+    }
+    if (verbose) {
+      std::printf("  powernet epoch %d/%d  loss %.5f\n", epoch + 1,
+                  options_.epochs, epoch_loss / static_cast<double>(count));
+      std::fflush(stdout);
+    }
+  }
+  return timer.seconds();
+}
+
+util::MapF PowerNetRunner::predict(const core::RawSample& sample,
+                                   double* seconds) {
+  util::WallTimer timer;
+  const PowerNetFeatures f = extract_features(sample);
+  const int rows = sample.truth.rows();
+  const int cols = sample.truth.cols();
+  util::MapF out(rows, cols, 0.0f);
+  nn::NoGradGuard no_grad;
+  for (int tr = 0; tr < rows; ++tr) {
+    for (int tc = 0; tc < cols; ++tc) {
+      const nn::Var pred = model_.forward_tile(nn::Var(tile_input(f, tr, tc)));
+      out(tr, tc) = pred.value().item() * vdd_;
+    }
+  }
+  if (seconds) *seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace pdnn::baseline

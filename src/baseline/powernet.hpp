@@ -1,0 +1,84 @@
+// PowerNet baseline (Xie et al., ASP-DAC 2020 [13]) — the state-of-the-art
+// CNN the paper compares against in Table 3.
+//
+// PowerNet is a *tile-by-tile* "maximum CNN": for every tile it crops a local
+// window of time-decomposed power maps plus static feature planes, runs a
+// small CNN once per time decomposition, and takes the maximum over time as
+// that tile's predicted dynamic noise. Predicting a full map therefore costs
+// (m * n * J) small CNN evaluations versus the proposed framework's single
+// full-map pass — the structural reason it loses on runtime in Table 3.
+//
+// Feature channels per window (adapted to the quantities our substrate
+// exposes; the original uses internal/leakage power, arrival time and
+// toggle rate): time-window power, total power, toggle rate, leakage proxy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "nn/module.hpp"
+#include "util/grid2d.hpp"
+
+namespace pdnn::baseline {
+
+struct PowerNetOptions {
+  int window = 9;      ///< input crop size per tile (paper setup: 15)
+  int time_maps = 12;  ///< J time-decomposed power maps (paper setup: 40)
+  int channels = 16;   ///< conv width
+  int epochs = 4;
+  float lr = 1e-3f;
+  int tiles_per_vector = 48;  ///< sampled tiles per vector per epoch
+  std::uint64_t seed = 21;
+};
+
+/// Per-sample feature planes consumed by PowerNet.
+struct PowerNetFeatures {
+  std::vector<util::MapF> window_power;  ///< J time-window mean maps
+  util::MapF total_power;
+  util::MapF toggle_rate;
+  util::MapF leakage;
+};
+
+/// The per-tile CNN: [J, 4, win, win] -> per-decomposition scalar, then the
+/// "maximum" stage takes max over J.
+class PowerNetModel : public nn::Module {
+ public:
+  PowerNetModel(const PowerNetOptions& options, util::Rng& rng);
+
+  /// input: [J, 4, win, win]; returns [1, 1, 1, 1] (max over J).
+  nn::Var forward_tile(const nn::Var& input);
+
+ private:
+  nn::Conv2d conv1_, conv2_, fc1_, fc2_;
+};
+
+/// Feature extraction + training + full-map inference.
+class PowerNetRunner {
+ public:
+  PowerNetRunner(PowerNetOptions options, float current_scale, float vdd);
+
+  PowerNetFeatures extract_features(const core::RawSample& sample) const;
+
+  /// Train on the given raw samples (same data as the proposed framework).
+  /// Returns the wall-clock training time in seconds.
+  double train(const core::RawDataset& data, const std::vector<int>& train_idx,
+               bool verbose = false);
+
+  /// Predict the full worst-case noise map, tile by tile.
+  util::MapF predict(const core::RawSample& sample, double* seconds = nullptr);
+
+  PowerNetModel& model() { return model_; }
+
+ private:
+  /// Crop the 4-channel window stack for one tile: [J, 4, win, win].
+  nn::Tensor tile_input(const PowerNetFeatures& f, int tr, int tc) const;
+
+  PowerNetOptions options_;
+  float current_scale_;
+  float vdd_;
+  util::Rng rng_;
+  PowerNetModel model_;
+};
+
+}  // namespace pdnn::baseline

@@ -1,0 +1,197 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/spatial.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pdnn::core {
+
+RawDataset simulate_dataset(const pdn::PowerGrid& grid,
+                            sim::TransientSimulator& simulator,
+                            vectors::TestVectorGenerator& generator,
+                            int num_vectors,
+                            const std::function<void(int, int)>& progress) {
+  PDN_CHECK(num_vectors > 0, "simulate_dataset: need at least one vector");
+  RawDataset ds;
+  ds.vdd = static_cast<float>(grid.spec().vdd);
+  ds.distance = distance_feature(grid);
+
+  const SpatialCompressor spatial(grid);
+  ds.samples.reserve(static_cast<std::size_t>(num_vectors));
+  for (int i = 0; i < num_vectors; ++i) {
+    const vectors::CurrentTrace trace = generator.generate();
+    RawSample sample;
+    sample.current_maps = spatial.current_maps(trace);
+    const sim::TransientResult result = simulator.simulate(trace);
+    sample.truth = result.tile_worst_noise;
+    sample.sim_seconds = result.solve_seconds;
+    ds.total_sim_seconds += result.solve_seconds;
+    ds.samples.push_back(std::move(sample));
+    if (progress) progress(i + 1, num_vectors);
+  }
+
+  // One normalization scale for the whole design.
+  float scale = 0.0f;
+  for (const RawSample& s : ds.samples) {
+    for (const util::MapF& m : s.current_maps) {
+      scale = std::max(scale, m.max_value());
+    }
+  }
+  ds.current_scale = std::max(scale, 1e-12f);
+  return ds;
+}
+
+std::vector<float> sample_signature(const RawSample& sample) {
+  PDN_CHECK(!sample.current_maps.empty(), "sample_signature: no maps");
+  const int rows = sample.current_maps.front().rows();
+  const int cols = sample.current_maps.front().cols();
+  const std::size_t tiles = static_cast<std::size_t>(rows) * cols;
+  const double n = static_cast<double>(sample.current_maps.size());
+
+  std::vector<float> sig(2 * tiles, 0.0f);
+  std::vector<double> mean(tiles, 0.0), sq(tiles, 0.0);
+  for (const util::MapF& m : sample.current_maps) {
+    for (std::size_t i = 0; i < tiles; ++i) {
+      const double v = m.storage()[i];
+      sig[i] = std::max(sig[i], static_cast<float>(v));  // temporal max
+      mean[i] += v;
+      sq[i] += v * v;
+    }
+  }
+  for (std::size_t i = 0; i < tiles; ++i) {
+    const double mu = mean[i] / n;
+    const double var = std::max(0.0, sq[i] / n - mu * mu);
+    sig[tiles + i] = static_cast<float>(mu + 3.0 * std::sqrt(var));
+  }
+  return sig;
+}
+
+namespace {
+
+double signature_distance(const std::vector<float>& a,
+                          const std::vector<float>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+/// Greedy admission at a fixed threshold; returns admitted indices.
+std::vector<int> admit_at_threshold(
+    const std::vector<std::vector<float>>& signatures, double threshold) {
+  std::vector<int> train;
+  for (int i = 0; i < static_cast<int>(signatures.size()); ++i) {
+    bool far_enough = true;
+    for (int t : train) {
+      if (signature_distance(signatures[static_cast<std::size_t>(i)],
+                             signatures[static_cast<std::size_t>(t)]) <=
+          threshold) {
+        far_enough = false;
+        break;
+      }
+    }
+    if (far_enough) train.push_back(i);
+  }
+  return train;
+}
+
+}  // namespace
+
+SplitIndices expansion_split(const std::vector<std::vector<float>>& signatures,
+                             const SplitOptions& options) {
+  const int n = static_cast<int>(signatures.size());
+  PDN_CHECK(n >= 3, "expansion_split: need at least 3 samples");
+  const int target =
+      std::clamp(static_cast<int>(std::lround(options.train_fraction * n)), 1,
+                 n - 2);
+
+  SplitIndices split;
+  if (options.strategy == SplitStrategy::kRandom) {
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    util::Rng rng(options.seed);
+    rng.shuffle(order);
+    split.train.assign(order.begin(), order.begin() + target);
+  } else {
+    // Bisect the admission threshold so the admitted count lands nearest the
+    // target fraction. Threshold 0 admits everything (all pairwise distances
+    // are > 0 for distinct vectors); a huge threshold admits only the first.
+    double lo = 0.0;
+    double hi = 0.0;
+    for (int i = 1; i < n; ++i) {
+      hi = std::max(hi, signature_distance(signatures[0],
+                                           signatures[static_cast<std::size_t>(i)]));
+    }
+    hi = std::max(hi * 2.0, 1e-12);
+    std::vector<int> best = admit_at_threshold(signatures, 0.0);
+    for (int iter = 0; iter < 40; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      std::vector<int> admitted = admit_at_threshold(signatures, mid);
+      if (std::abs(static_cast<int>(admitted.size()) - target) <
+          std::abs(static_cast<int>(best.size()) - target)) {
+        best = admitted;
+      }
+      if (static_cast<int>(admitted.size()) > target) {
+        lo = mid;  // too many admitted -> raise threshold
+      } else {
+        hi = mid;
+      }
+    }
+    split.train = std::move(best);
+    PDN_CHECK(static_cast<int>(split.train.size()) <= n - 2,
+              "expansion_split: degenerate split");
+  }
+
+  // Remainder: random 3:7 validation:test (paper §3.4.4).
+  std::vector<char> in_train(static_cast<std::size_t>(n), 0);
+  for (int t : split.train) in_train[static_cast<std::size_t>(t)] = 1;
+  std::vector<int> rest;
+  for (int i = 0; i < n; ++i) {
+    if (!in_train[static_cast<std::size_t>(i)]) rest.push_back(i);
+  }
+  util::Rng rng(options.seed ^ 0x5117faceull);
+  rng.shuffle(rest);
+  const int val_count = std::max(
+      1, static_cast<int>(std::lround(options.val_fraction_of_rest *
+                                      static_cast<double>(rest.size()))));
+  split.val.assign(rest.begin(), rest.begin() + val_count);
+  split.test.assign(rest.begin() + val_count, rest.end());
+  PDN_CHECK(!split.test.empty(), "expansion_split: empty test set");
+  return split;
+}
+
+CompiledDataset compile_dataset(const RawDataset& raw,
+                                const TemporalCompressionOptions& temporal,
+                                const SplitOptions& split_options) {
+  PDN_CHECK(!raw.samples.empty(), "compile_dataset: empty raw dataset");
+  CompiledDataset ds;
+  ds.distance = raw.distance;
+  ds.current_scale = raw.current_scale;
+  ds.noise_scale = raw.vdd;
+
+  std::vector<std::vector<float>> signatures;
+  signatures.reserve(raw.samples.size());
+  for (int i = 0; i < static_cast<int>(raw.samples.size()); ++i) {
+    const RawSample& s = raw.samples[static_cast<std::size_t>(i)];
+    const std::vector<double> totals = total_current_sequence(s.current_maps);
+    const TemporalCompressionResult tc = compress_temporal(totals, temporal);
+
+    CompiledSample cs;
+    cs.currents = stack_current_maps(s.current_maps, tc.kept, ds.current_scale);
+    cs.target = map_to_tensor(s.truth, ds.noise_scale);
+    cs.raw_index = i;
+    ds.samples.push_back(std::move(cs));
+    signatures.push_back(sample_signature(s));
+  }
+
+  ds.split = expansion_split(signatures, split_options);
+  return ds;
+}
+
+}  // namespace pdnn::core

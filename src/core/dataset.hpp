@@ -1,0 +1,96 @@
+// Dataset construction and the training-set expansion split (paper §3.4.4).
+//
+// Building a dataset is two-phase so experiments can reuse expensive golden
+// simulations: simulate_dataset() runs the transient engine once per test
+// vector (the costly part); compile_dataset() then applies Algorithm 1 at a
+// chosen compression rate and splits train/val/test — Fig. 6 sweeps the rate
+// by re-compiling the same RawDataset.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/temporal.hpp"
+#include "nn/tensor.hpp"
+#include "pdn/power_grid.hpp"
+#include "sim/transient.hpp"
+#include "util/grid2d.hpp"
+#include "vectors/generator.hpp"
+
+namespace pdnn::core {
+
+/// One simulated test vector: tile current maps per time step plus the
+/// golden worst-case noise map.
+struct RawSample {
+  std::vector<util::MapF> current_maps;  ///< [num_steps] tile maps, amperes
+  util::MapF truth;                      ///< golden worst-case noise, volts
+  double sim_seconds = 0.0;              ///< golden engine cost for this vector
+};
+
+/// All simulated vectors for one design.
+struct RawDataset {
+  std::vector<RawSample> samples;
+  nn::Tensor distance;        ///< [1, B, m, n] bump-distance feature
+  float current_scale = 1.0f; ///< normalization for current maps
+  float vdd = 1.0f;
+  double total_sim_seconds = 0.0;
+};
+
+/// Run the golden engine over `num_vectors` random vectors.
+/// `progress` (optional) is called after each vector with (done, total).
+RawDataset simulate_dataset(
+    const pdn::PowerGrid& grid, sim::TransientSimulator& simulator,
+    vectors::TestVectorGenerator& generator, int num_vectors,
+    const std::function<void(int, int)>& progress = {});
+
+/// How the train set is chosen from the sample pool.
+enum class SplitStrategy {
+  kExpansion,  ///< paper §3.4.4: distance-threshold training-set expansion
+  kRandom,     ///< ablation baseline: uniform random split
+};
+
+struct SplitOptions {
+  SplitStrategy strategy = SplitStrategy::kExpansion;
+  double train_fraction = 0.6;  ///< paper: "approximately 60%"
+  double val_fraction_of_rest = 0.3;  ///< paper: remainder split 3:7 val:test
+  std::uint64_t seed = 7;
+};
+
+struct SplitIndices {
+  std::vector<int> train, val, test;
+};
+
+/// A sample ready for the network.
+struct CompiledSample {
+  nn::Tensor currents;  ///< [T, 1, m, n], normalized, post-Algorithm-1
+  nn::Tensor target;    ///< [1, 1, m, n], truth / vdd
+  int raw_index = 0;    ///< back-reference into RawDataset::samples
+};
+
+struct CompiledDataset {
+  std::vector<CompiledSample> samples;
+  SplitIndices split;
+  nn::Tensor distance;
+  float current_scale = 1.0f;
+  float noise_scale = 1.0f;  ///< = vdd
+};
+
+/// Apply temporal compression + normalization + split.
+CompiledDataset compile_dataset(const RawDataset& raw,
+                                const TemporalCompressionOptions& temporal,
+                                const SplitOptions& split);
+
+/// The training-set expansion split alone (exposed for tests/ablation):
+/// greedily admits a sample when its feature distance to every admitted
+/// sample exceeds a threshold; the threshold is searched so the admitted
+/// fraction lands nearest `train_fraction`.
+SplitIndices expansion_split(const std::vector<std::vector<float>>& signatures,
+                             const SplitOptions& options);
+
+/// Per-sample signature used for the expansion distance: the per-tile
+/// temporal max and mu+3sigma of the raw current maps, flattened.
+std::vector<float> sample_signature(const RawSample& sample);
+
+}  // namespace pdnn::core

@@ -1,0 +1,154 @@
+#include "core/model.hpp"
+
+#include <fstream>
+
+#include "nn/serialize.hpp"
+#include "util/check.hpp"
+
+namespace pdnn::core {
+
+using nn::PadMode;
+using nn::Var;
+
+UNet2::UNet2(int in_channels, int channels, int out_channels, util::Rng& rng)
+    : in_conv_(in_channels, channels, 3, 1, 1, PadMode::kReplicate, rng),
+      down1_a_(channels, channels, 3, 2, 1, PadMode::kReplicate, rng),
+      down1_b_(channels, channels, 3, 1, 1, PadMode::kReplicate, rng),
+      down2_a_(channels, channels, 3, 2, 1, PadMode::kReplicate, rng),
+      down2_b_(channels, channels, 3, 1, 1, PadMode::kReplicate, rng),
+      up1_(channels, channels, 3, 2, 1, /*output_padding=*/1, rng),
+      up1_conv_(2 * channels, channels, 3, 1, 1, PadMode::kReplicate, rng),
+      up2_(channels, channels, 3, 2, 1, /*output_padding=*/1, rng),
+      up2_conv_(2 * channels, channels, 3, 1, 1, PadMode::kReplicate, rng),
+      out_conv_(channels, out_channels, 3, 1, 1, PadMode::kReplicate, rng) {
+  register_module(&in_conv_);
+  register_module(&down1_a_);
+  register_module(&down1_b_);
+  register_module(&down2_a_);
+  register_module(&down2_b_);
+  register_module(&up1_);
+  register_module(&up1_conv_);
+  register_module(&up2_);
+  register_module(&up2_conv_);
+  register_module(&out_conv_);
+}
+
+Var UNet2::forward(const Var& x) {
+  // Encoder: stride-2 conv + stride-1 conv per level, replication padding.
+  const Var e0 = nn::relu(in_conv_.forward(x));                      // m x n
+  const Var d1 = nn::relu(down1_b_.forward(nn::relu(down1_a_.forward(e0))));
+  const Var d2 = nn::relu(down2_b_.forward(nn::relu(down2_a_.forward(d1))));
+
+  // Decoder: stride-2 deconv (zero padding) + skip concat + stride-1 conv.
+  // The deconv doubles the (possibly odd) encoder size; crop to the skip's.
+  Var u1 = nn::relu(up1_.forward(d2));
+  u1 = nn::crop2d(u1, d1.value().h(), d1.value().w());
+  const Var m1 = nn::relu(up1_conv_.forward(nn::concat_channels({u1, d1})));
+
+  Var u2 = nn::relu(up2_.forward(m1));
+  u2 = nn::crop2d(u2, e0.value().h(), e0.value().w());
+  const Var m2 = nn::relu(up2_conv_.forward(nn::concat_channels({u2, e0})));
+
+  return out_conv_.forward(m2);  // linear output layer
+}
+
+FusionNet::FusionNet(int channels, util::Rng& rng)
+    : enc1_(1, channels, 3, 1, 1, PadMode::kReplicate, rng),
+      enc2_(channels, channels, 3, 2, 1, PadMode::kReplicate, rng),
+      dec1_(channels, channels, 3, 2, 1, /*output_padding=*/1, rng),
+      dec2_(channels, 1, 3, 1, 1, PadMode::kReplicate, rng) {
+  register_module(&enc1_);
+  register_module(&enc2_);
+  register_module(&dec1_);
+  register_module(&dec2_);
+}
+
+Var FusionNet::forward(const Var& x) {
+  const int h = x.value().h();
+  const int w = x.value().w();
+  Var y = nn::relu(enc1_.forward(x));
+  y = nn::relu(enc2_.forward(y));
+  y = nn::relu(dec1_.forward(y));
+  y = nn::crop2d(y, h, w);
+  return dec2_.forward(y);  // linear output layer
+}
+
+WorstCaseNoiseNet::WorstCaseNoiseNet(const ModelConfig& config)
+    : config_(config),
+      init_rng_(config.init_seed),
+      distance_net_(config.distance_channels, config.c1, 1, init_rng_),
+      fusion_net_(config.c2, init_rng_),
+      prediction_net_(4, config.c3, 1, init_rng_) {
+  PDN_CHECK(config.distance_channels > 0, "WorstCaseNoiseNet: B must be > 0");
+  PDN_CHECK(config.tile_rows > 0 && config.tile_cols > 0,
+            "WorstCaseNoiseNet: empty tile grid");
+  register_module(&distance_net_);
+  register_module(&fusion_net_);
+  register_module(&prediction_net_);
+}
+
+Var WorstCaseNoiseNet::forward(const Var& distance, const Var& currents) {
+  PDN_CHECK(distance.value().ndim() == 4 &&
+                distance.value().c() == config_.distance_channels,
+            "forward: distance tensor has wrong channel count");
+  PDN_CHECK(currents.value().ndim() == 4 && currents.value().c() == 1,
+            "forward: currents tensor must be [T,1,m,n]");
+
+  // Subnet 1: B x m x n -> 1 x m x n distance map.
+  const Var d_tilde = distance_net_.forward(distance);
+
+  // Subnet 2: fuse each compressed time step (batched over T), then reduce
+  // over time per tile.
+  const Var fused = fusion_net_.forward(currents);
+  const Var i_max = nn::batch_max(fused);
+  const Var i_min = nn::batch_min(fused);
+  const Var i_mean = nn::scale(nn::add(i_max, i_min), 0.5f);
+  const Var i_msd = nn::batch_mean3sigma(fused);
+
+  // Subnet 3: 4 x m x n -> worst-case noise map.
+  const Var stacked = nn::concat_channels({d_tilde, i_max, i_mean, i_msd});
+  return prediction_net_.forward(stacked);
+}
+
+namespace {
+constexpr char kModelMagic[8] = {'P', 'D', 'N', 'M', 'O', 'D', 'L', '1'};
+}
+
+void save_model(WorstCaseNoiseNet& model, const std::string& path) {
+  {
+    std::ofstream out(path, std::ios::binary);
+    PDN_CHECK(out.good(), "save_model: cannot open " + path);
+    out.write(kModelMagic, sizeof(kModelMagic));
+    const ModelConfig& c = model.config();
+    out.write(reinterpret_cast<const char*>(&c), sizeof(c));
+    PDN_CHECK(out.good(), "save_model: header write failed");
+  }
+  // Weights appended via the parameter serializer into a sibling stream.
+  nn::save_parameters(model.parameters(), path + ".weights");
+}
+
+ModelConfig peek_model_config(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PDN_CHECK(in.good(), "peek_model_config: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  PDN_CHECK(in.good() && std::equal(magic, magic + 8, kModelMagic),
+            "peek_model_config: bad magic");
+  ModelConfig c;
+  in.read(reinterpret_cast<char*>(&c), sizeof(c));
+  PDN_CHECK(in.good(), "peek_model_config: truncated header");
+  return c;
+}
+
+void load_model(WorstCaseNoiseNet& model, const std::string& path) {
+  const ModelConfig stored = peek_model_config(path);
+  const ModelConfig& own = model.config();
+  PDN_CHECK(stored.distance_channels == own.distance_channels &&
+                stored.tile_rows == own.tile_rows &&
+                stored.tile_cols == own.tile_cols && stored.c1 == own.c1 &&
+                stored.c2 == own.c2 && stored.c3 == own.c3,
+            "load_model: architecture mismatch");
+  nn::load_parameters(model.parameters(), path + ".weights");
+}
+
+}  // namespace pdnn::core

@@ -1,0 +1,97 @@
+// The worst-case dynamic PDN noise prediction network (paper §3.4, Fig. 3).
+//
+// Three subnets:
+//   1. Distance dimension reduction — a U-Net that squeezes the B-channel
+//      bump-distance tensor down to a single distance map D~ (§3.4.1).
+//   2. Current map fusion — a small 4-layer encoder-decoder applied to each
+//      compressed time step independently (weights shared across time, so
+//      any sequence length works), followed by the per-tile temporal
+//      reductions I~max, I~mean, I~msd (§3.4.2).
+//   3. Noise prediction — a U-Net over the concatenated 4 x m x n feature
+//      stack producing the worst-case noise map V (§3.4.3).
+//
+// Published hyperparameters reproduced here: all down/up sampling layers use
+// stride 2 and are each followed by a stride-1 convolution; skip connections
+// join same-size features; convolutions use replication padding and
+// deconvolutions zero padding; every layer is ReLU except the outputs;
+// kernel counts C1 = C2 = 8, C3 = 16 (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/module.hpp"
+#include "nn/ops.hpp"
+
+namespace pdnn::core {
+
+/// Depth-2 U-Net used by the distance-reduction and noise-prediction subnets.
+class UNet2 : public nn::Module {
+ public:
+  UNet2(int in_channels, int channels, int out_channels, util::Rng& rng);
+
+  nn::Var forward(const nn::Var& x);
+
+ private:
+  nn::Conv2d in_conv_;
+  nn::Conv2d down1_a_, down1_b_;
+  nn::Conv2d down2_a_, down2_b_;
+  nn::ConvTranspose2d up1_;
+  nn::Conv2d up1_conv_;
+  nn::ConvTranspose2d up2_;
+  nn::Conv2d up2_conv_;
+  nn::Conv2d out_conv_;
+};
+
+/// 4-layer encoder-decoder applied per time step (1 -> C2 -> C2 -> 1).
+class FusionNet : public nn::Module {
+ public:
+  FusionNet(int channels, util::Rng& rng);
+
+  /// x: [T, 1, m, n] -> fused per-step maps [T, 1, m, n].
+  nn::Var forward(const nn::Var& x);
+
+ private:
+  nn::Conv2d enc1_, enc2_;
+  nn::ConvTranspose2d dec1_;
+  nn::Conv2d dec2_;
+};
+
+/// Everything needed to rebuild a model and interpret its inputs/outputs.
+struct ModelConfig {
+  int distance_channels = 0;  ///< B: number of power bumps
+  int tile_rows = 0;          ///< m
+  int tile_cols = 0;          ///< n
+  int c1 = 8;                 ///< distance subnet kernels
+  int c2 = 8;                 ///< fusion subnet kernels
+  int c3 = 16;                ///< prediction subnet kernels
+  float current_scale = 1.0f; ///< amperes mapped to 1.0 at the input
+  float noise_scale = 1.0f;   ///< volts mapped to 1.0 at the output (= Vdd)
+  std::uint64_t init_seed = 42;
+};
+
+/// The full three-subnet model.
+class WorstCaseNoiseNet : public nn::Module {
+ public:
+  explicit WorstCaseNoiseNet(const ModelConfig& config);
+
+  /// distance: [1, B, m, n]; currents: [T, 1, m, n] (any T >= 1).
+  /// Returns the predicted normalized worst-case noise map [1, 1, m, n].
+  nn::Var forward(const nn::Var& distance, const nn::Var& currents);
+
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  ModelConfig config_;
+  util::Rng init_rng_;
+  UNet2 distance_net_;
+  FusionNet fusion_net_;
+  UNet2 prediction_net_;
+};
+
+/// Persist config + weights; load verifies the architecture matches.
+void save_model(WorstCaseNoiseNet& model, const std::string& path);
+ModelConfig peek_model_config(const std::string& path);
+void load_model(WorstCaseNoiseNet& model, const std::string& path);
+
+}  // namespace pdnn::core

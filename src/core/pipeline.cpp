@@ -1,0 +1,54 @@
+#include "core/pipeline.hpp"
+
+#include "core/features.hpp"
+#include "util/timer.hpp"
+
+namespace pdnn::core {
+
+WorstCasePipeline::WorstCasePipeline(const pdn::PowerGrid& grid,
+                                     WorstCaseNoiseNet& model,
+                                     PipelineOptions options)
+    : grid_(grid),
+      model_(model),
+      options_(options),
+      spatial_(grid),
+      distance_(distance_feature(grid)) {}
+
+util::MapF WorstCasePipeline::predict(const vectors::CurrentTrace& trace,
+                                      PredictionTiming* timing) {
+  util::WallTimer total;
+
+  // 1) Spatial compression: node-level loads -> tile current maps.
+  util::WallTimer stage;
+  const std::vector<util::MapF> maps = spatial_.current_maps(trace);
+  const double spatial_s = stage.seconds();
+
+  // 2) Temporal compression: Algorithm 1 on the total-current sequence.
+  stage.reset();
+  const TemporalCompressionResult tc =
+      compress_temporal(total_current_sequence(maps), options_.temporal);
+  const double temporal_s = stage.seconds();
+
+  // 3) Feature assembly + a single CNN forward pass (no tape).
+  stage.reset();
+  const nn::Tensor currents =
+      stack_current_maps(maps, tc.kept, model_.config().current_scale);
+  util::MapF result;
+  {
+    nn::NoGradGuard no_grad;
+    const nn::Var pred = model_.forward(nn::Var(distance_), nn::Var(currents));
+    result = tensor_to_map(pred.value(), model_.config().noise_scale);
+  }
+  const double inference_s = stage.seconds();
+
+  if (timing) {
+    timing->spatial_seconds = spatial_s;
+    timing->temporal_seconds = temporal_s;
+    timing->inference_seconds = inference_s;
+    timing->total_seconds = total.seconds();
+    timing->kept_steps = static_cast<int>(tc.kept.size());
+  }
+  return result;
+}
+
+}  // namespace pdnn::core

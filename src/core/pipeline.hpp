@@ -1,0 +1,49 @@
+// End-to-end inference pipeline (paper Fig. 2, inference flow): test vector
+// -> spatial compression -> Algorithm 1 temporal compression -> feature
+// assembly -> one CNN forward pass -> worst-case noise map for the entire
+// PDN. One execution predicts the whole map; no tile-by-tile iteration.
+#pragma once
+
+#include "core/model.hpp"
+#include "core/spatial.hpp"
+#include "core/temporal.hpp"
+#include "util/grid2d.hpp"
+#include "vectors/current_trace.hpp"
+
+namespace pdnn::core {
+
+struct PipelineOptions {
+  TemporalCompressionOptions temporal;
+};
+
+/// Wall-time breakdown of one prediction (the paper's "Proposed (s)" column
+/// counts everything from raw vector to noise map).
+struct PredictionTiming {
+  double spatial_seconds = 0.0;
+  double temporal_seconds = 0.0;
+  double inference_seconds = 0.0;
+  double total_seconds = 0.0;
+  int kept_steps = 0;
+};
+
+/// Bundles a trained model with its design's compressors and features.
+class WorstCasePipeline {
+ public:
+  WorstCasePipeline(const pdn::PowerGrid& grid, WorstCaseNoiseNet& model,
+                    PipelineOptions options);
+
+  /// Predict the worst-case noise map (volts) for one test vector.
+  util::MapF predict(const vectors::CurrentTrace& trace,
+                     PredictionTiming* timing = nullptr);
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  const pdn::PowerGrid& grid_;
+  WorstCaseNoiseNet& model_;
+  PipelineOptions options_;
+  SpatialCompressor spatial_;
+  nn::Tensor distance_;
+};
+
+}  // namespace pdnn::core

@@ -1,0 +1,112 @@
+#include "core/temporal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace pdnn::core {
+
+namespace {
+
+/// mu + 3*sigma with population variance, as written in Algorithm 1.
+double mu3sigma(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  const double mu =
+      std::accumulate(values.begin(), values.end(), 0.0) / values.size();
+  double var = 0.0;
+  for (double v : values) var += (v - mu) * (v - mu);
+  var /= static_cast<double>(values.size());
+  return mu + 3.0 * std::sqrt(var);
+}
+
+}  // namespace
+
+TemporalCompressionResult compress_temporal(
+    const std::vector<double>& total_currents,
+    const TemporalCompressionOptions& options) {
+  const int n = static_cast<int>(total_currents.size());
+  PDN_CHECK(n > 0, "compress_temporal: empty sequence");
+  PDN_CHECK(options.rate > 0.0 && options.rate < 1.0,
+            "compress_temporal: rate must be in (0,1)");
+  PDN_CHECK(options.rate_step > 0.0, "compress_temporal: rate_step must be > 0");
+
+  TemporalCompressionResult result;
+  result.full_mu3sigma = mu3sigma(total_currents);
+
+  // Line 7: argsort S ascending.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return total_currents[static_cast<std::size_t>(a)] <
+           total_currents[static_cast<std::size_t>(b)];
+  });
+
+  const int keep_total =
+      std::max(1, static_cast<int>(std::lround(options.rate * n)));
+
+  // Lines 8-20: sweep the split r0 in [0, r], keeping the lowest r0*N and the
+  // highest (r - r0)*N entries, and pick the split whose retained-set
+  // mu + 3*sigma is closest to the full sequence's.
+  double d_min = std::numeric_limits<double>::infinity();
+  int best_low = 0;
+  double best_r0 = 0.0;
+  std::vector<double> kept_values;
+  kept_values.reserve(static_cast<std::size_t>(keep_total));
+  for (double r0 = 0.0; r0 <= options.rate + 1e-12; r0 += options.rate_step) {
+    const int low =
+        std::min(keep_total, static_cast<int>(std::lround(r0 * n)));
+    const int high = keep_total - low;
+    kept_values.clear();
+    for (int p = 0; p < low; ++p) {
+      kept_values.push_back(total_currents[static_cast<std::size_t>(order[p])]);
+    }
+    for (int p = n - high; p < n; ++p) {
+      kept_values.push_back(total_currents[static_cast<std::size_t>(order[p])]);
+    }
+    const double m = mu3sigma(kept_values);
+    const double d = std::abs(result.full_mu3sigma - m);
+    if (d < d_min) {
+      d_min = d;
+      best_low = low;
+      best_r0 = r0;
+      result.kept_mu3sigma = m;
+    }
+  }
+
+  // Lines 21-23: emit the retained indices for the winning split.
+  result.chosen_r0 = best_r0;
+  result.kept.clear();
+  for (int p = 0; p < best_low; ++p) result.kept.push_back(order[p]);
+  for (int p = n - (keep_total - best_low); p < n; ++p) {
+    result.kept.push_back(order[p]);
+  }
+  std::sort(result.kept.begin(), result.kept.end());
+  return result;
+}
+
+std::vector<double> total_current_sequence(const std::vector<util::MapF>& maps) {
+  std::vector<double> s;
+  s.reserve(maps.size());
+  for (const util::MapF& m : maps) s.push_back(m.sum());
+  return s;
+}
+
+std::vector<int> uniform_subsample(int num_steps, double rate) {
+  PDN_CHECK(num_steps > 0 && rate > 0.0 && rate <= 1.0,
+            "uniform_subsample: bad arguments");
+  const int keep = std::max(1, static_cast<int>(std::lround(rate * num_steps)));
+  std::vector<int> idx;
+  idx.reserve(static_cast<std::size_t>(keep));
+  for (int i = 0; i < keep; ++i) {
+    idx.push_back(static_cast<int>(
+        std::min<std::int64_t>(num_steps - 1,
+                               static_cast<std::int64_t>(i) * num_steps / keep)));
+  }
+  idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+  return idx;
+}
+
+}  // namespace pdnn::core

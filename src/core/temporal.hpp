@@ -1,0 +1,43 @@
+// Temporal compression (paper §3.2, Algorithm 1).
+//
+// Steady-current segments do not set the worst-case noise; heavy switching
+// does. Algorithm 1 keeps only a fraction r of the time steps, chosen from
+// the two tails of the sorted total-current sequence S[k], sweeping the
+// low/high split r0 so that the retained set's mu + 3*sigma statistic best
+// matches the full sequence's.
+#pragma once
+
+#include <vector>
+
+#include "util/grid2d.hpp"
+
+namespace pdnn::core {
+
+/// Parameters of Algorithm 1.
+struct TemporalCompressionOptions {
+  double rate = 0.15;       ///< r: fraction of time steps to keep, in (0, 1)
+  double rate_step = 0.025; ///< delta-r: granularity of the r0 sweep
+};
+
+/// Result of Algorithm 1 on one current sequence.
+struct TemporalCompressionResult {
+  /// Retained time-step indices in ascending time order (|kept| ~ r * N).
+  std::vector<int> kept;
+  double chosen_r0 = 0.0;        ///< r_s: low-tail fraction selected
+  double full_mu3sigma = 0.0;    ///< mu_s + 3*sigma_s of the full sequence
+  double kept_mu3sigma = 0.0;    ///< mu_c + 3*sigma_c of the retained set
+};
+
+/// Algorithm 1 on the total-current sequence S[k] (S[k] = sum over the tile
+/// map at step k). The caller then selects the corresponding current maps.
+TemporalCompressionResult compress_temporal(
+    const std::vector<double>& total_currents,
+    const TemporalCompressionOptions& options);
+
+/// Convenience: total current per step from tile current maps.
+std::vector<double> total_current_sequence(const std::vector<util::MapF>& maps);
+
+/// Baseline for the ablation bench: keep ceil(r*N) uniformly spaced steps.
+std::vector<int> uniform_subsample(int num_steps, double rate);
+
+}  // namespace pdnn::core

@@ -1,0 +1,68 @@
+#include "core/trainer.hpp"
+
+#include <cstdio>
+#include <numeric>
+
+#include "nn/optimizer.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace pdnn::core {
+
+double evaluate_loss(WorstCaseNoiseNet& model, const CompiledDataset& data,
+                     const std::vector<int>& indices) {
+  if (indices.empty()) return 0.0;
+  nn::NoGradGuard no_grad;
+  const nn::Var distance(data.distance);
+  double total = 0.0;
+  for (int idx : indices) {
+    const CompiledSample& s = data.samples[static_cast<std::size_t>(idx)];
+    const nn::Var pred = model.forward(distance, nn::Var(s.currents));
+    total += nn::l1_loss(pred, s.target, nn::Reduction::kSum).value().item();
+  }
+  return total / static_cast<double>(indices.size());
+}
+
+TrainReport train_model(WorstCaseNoiseNet& model, const CompiledDataset& data,
+                        const TrainOptions& options) {
+  PDN_CHECK(!data.split.train.empty(), "train_model: empty training set");
+  PDN_CHECK(options.epochs > 0, "train_model: epochs must be positive");
+
+  util::WallTimer timer;
+  nn::Adam optimizer(model.parameters(), options.lr);
+  util::Rng rng(options.shuffle_seed);
+  std::vector<int> order = data.split.train;
+
+  TrainReport report;
+  const nn::Var distance(data.distance);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    if (options.lr_decay != 1.0f && epoch > 0) {
+      optimizer.set_learning_rate(optimizer.learning_rate() * options.lr_decay);
+    }
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (int idx : order) {
+      const CompiledSample& s = data.samples[static_cast<std::size_t>(idx)];
+      optimizer.zero_grad();
+      const nn::Var pred = model.forward(distance, nn::Var(s.currents));
+      nn::Var loss = nn::l1_loss(pred, s.target, nn::Reduction::kSum);
+      epoch_loss += loss.value().item();
+      loss.backward();
+      optimizer.step();
+    }
+    report.train_loss.push_back(epoch_loss /
+                                static_cast<double>(order.size()));
+    report.val_loss.push_back(evaluate_loss(model, data, data.split.val));
+    if (options.verbose) {
+      std::printf("  epoch %2d/%d  train %.4f  val %.4f\n", epoch + 1,
+                  options.epochs, report.train_loss.back(),
+                  report.val_loss.back());
+      std::fflush(stdout);
+    }
+  }
+  report.seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace pdnn::core

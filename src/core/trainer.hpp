@@ -1,0 +1,35 @@
+// Model training (paper §3.4.4): Adam at learning rate 1e-4 and the L1 loss
+// of Eq. (3), summed over the m x n tile array.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/model.hpp"
+
+namespace pdnn::core {
+
+struct TrainOptions {
+  int epochs = 12;
+  float lr = 1e-4f;           ///< paper: Adam, 0.0001
+  float lr_decay = 1.0f;      ///< per-epoch multiplicative decay (1 = constant)
+  bool verbose = false;       ///< print per-epoch losses
+  std::uint64_t shuffle_seed = 11;
+};
+
+struct TrainReport {
+  std::vector<double> train_loss;  ///< mean per-sample loss per epoch
+  std::vector<double> val_loss;
+  double seconds = 0.0;
+};
+
+/// Train in place; returns per-epoch losses.
+TrainReport train_model(WorstCaseNoiseNet& model, const CompiledDataset& data,
+                        const TrainOptions& options);
+
+/// Mean per-sample L1 loss over an index set (no gradients).
+double evaluate_loss(WorstCaseNoiseNet& model, const CompiledDataset& data,
+                     const std::vector<int>& indices);
+
+}  // namespace pdnn::core

@@ -1,0 +1,126 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace pdnn::eval {
+
+MapEvaluator::MapEvaluator(double vdd, double hotspot_threshold_fraction)
+    : vdd_(vdd), threshold_(vdd * hotspot_threshold_fraction) {
+  PDN_CHECK(vdd > 0.0, "MapEvaluator: non-positive vdd");
+}
+
+void MapEvaluator::add(const util::MapF& predicted, const util::MapF& truth) {
+  PDN_CHECK(predicted.same_shape(truth), "MapEvaluator: shape mismatch");
+  const std::size_t n = truth.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = predicted.storage()[i];
+    const double t = truth.storage()[i];
+    const double ae = std::abs(p - t);
+    ae_.push_back(ae);
+    // RE against the ground-truth noise; tiles with (near-)zero truth noise
+    // use a small floor, mirroring how near-zero-noise tiles dominate the
+    // paper's max-RE column (D4: 16.8% max RE at only 8 mV AE).
+    re_.push_back(ae / std::max(t, 1e-3 * vdd_));
+    scores_.push_back(static_cast<float>(p));
+    labels_.push_back(t >= threshold_ ? 1 : 0);
+  }
+}
+
+AccuracyStats MapEvaluator::accuracy() const {
+  AccuracyStats s;
+  s.count = static_cast<std::int64_t>(ae_.size());
+  if (ae_.empty()) return s;
+  s.mean_ae = std::accumulate(ae_.begin(), ae_.end(), 0.0) / ae_.size();
+  s.mean_re = std::accumulate(re_.begin(), re_.end(), 0.0) / re_.size();
+  s.p99_ae = percentile(ae_, 99.0);
+  s.p99_re = percentile(re_, 99.0);
+  s.max_ae = *std::max_element(ae_.begin(), ae_.end());
+  s.max_re = *std::max_element(re_.begin(), re_.end());
+  return s;
+}
+
+HotspotStats MapEvaluator::hotspots() const {
+  HotspotStats h;
+  h.tiles = static_cast<std::int64_t>(labels_.size());
+  std::int64_t missed = 0;
+  std::int64_t false_alarm = 0;
+  std::int64_t negatives = 0;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    const bool predicted_hot = scores_[i] >= threshold_;
+    if (labels_[i]) {
+      ++h.hotspots;
+      if (!predicted_hot) ++missed;
+    } else {
+      ++negatives;
+      if (predicted_hot) ++false_alarm;
+    }
+  }
+  h.missing_rate = h.hotspots > 0
+                       ? static_cast<double>(missed) / static_cast<double>(h.hotspots)
+                       : 0.0;
+  h.false_alarm_rate =
+      negatives > 0 ? static_cast<double>(false_alarm) / negatives : 0.0;
+  h.hotspot_ratio =
+      h.tiles > 0 ? static_cast<double>(h.hotspots) / h.tiles : 0.0;
+  h.auc = roc_auc(scores_, labels_);
+  return h;
+}
+
+double percentile(std::vector<double> values, double p) {
+  PDN_CHECK(!values.empty(), "percentile: empty input");
+  PDN_CHECK(p >= 0.0 && p <= 100.0, "percentile: p out of range");
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * (static_cast<double>(values.size()) - 1.0);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double roc_auc(const std::vector<float>& scores, const std::vector<char>& labels) {
+  PDN_CHECK(scores.size() == labels.size(), "roc_auc: size mismatch");
+  // Rank-sum formulation with average ranks for ties.
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  double rank_sum_pos = 0.0;
+  std::int64_t positives = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i) + static_cast<double>(j - 1)) + 1.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (labels[order[k]]) {
+        rank_sum_pos += avg_rank;
+        ++positives;
+      }
+    }
+    i = j;
+  }
+  const std::int64_t negatives = static_cast<std::int64_t>(n) - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = rank_sum_pos -
+                   static_cast<double>(positives) * (positives + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+util::MapF relative_error_map(const util::MapF& predicted,
+                              const util::MapF& truth, float eps) {
+  PDN_CHECK(predicted.same_shape(truth), "relative_error_map: shape mismatch");
+  util::MapF out(truth.rows(), truth.cols(), 0.0f);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    out.storage()[i] = std::abs(predicted.storage()[i] - truth.storage()[i]) /
+                       std::max(truth.storage()[i], eps);
+  }
+  return out;
+}
+
+}  // namespace pdnn::eval

@@ -1,0 +1,70 @@
+// Accuracy metrics used in the paper's evaluation (Tables 2 and 3):
+// mean / 99th-percentile / maximum absolute error (AE) and relative error
+// (RE) over tiles, the hotspot missing rate at the 10%-of-Vdd threshold, and
+// the ROC AUC of hotspot classification.
+#pragma once
+
+#include <vector>
+
+#include "util/grid2d.hpp"
+
+namespace pdnn::eval {
+
+/// Aggregated AE/RE statistics over every (sample, tile) pair added.
+struct AccuracyStats {
+  double mean_ae = 0.0;  ///< volts
+  double mean_re = 0.0;  ///< fraction (0.01 == 1%)
+  double p99_ae = 0.0;
+  double p99_re = 0.0;
+  double max_ae = 0.0;
+  double max_re = 0.0;
+  std::int64_t count = 0;
+};
+
+/// Hotspot identification quality at a fixed noise threshold.
+struct HotspotStats {
+  double missing_rate = 0.0;   ///< true hotspots predicted below threshold
+  double false_alarm_rate = 0.0;  ///< non-hotspots predicted above threshold
+  double auc = 0.0;            ///< ROC AUC of hotspot classification
+  std::int64_t hotspots = 0;   ///< ground-truth hotspot tiles
+  std::int64_t tiles = 0;
+  double hotspot_ratio = 0.0;  ///< hotspots / tiles (Table 1 column)
+};
+
+/// Streaming accumulator: feed (predicted, truth) tile-map pairs, then read
+/// the aggregate statistics.
+class MapEvaluator {
+ public:
+  explicit MapEvaluator(double vdd, double hotspot_threshold_fraction = 0.1);
+
+  /// Accumulate one sample. Maps must have identical shapes.
+  void add(const util::MapF& predicted, const util::MapF& truth);
+
+  AccuracyStats accuracy() const;
+  HotspotStats hotspots() const;
+
+  /// Per-tile relative errors of every added sample (Fig. 5a histogram).
+  const std::vector<double>& relative_errors() const { return re_; }
+  const std::vector<double>& absolute_errors() const { return ae_; }
+
+ private:
+  double vdd_;
+  double threshold_;
+  std::vector<double> ae_;
+  std::vector<double> re_;
+  std::vector<float> scores_;  ///< predicted noise (classifier score)
+  std::vector<char> labels_;   ///< truth >= threshold
+};
+
+/// p-th percentile (p in [0, 100]) by linear interpolation; values copied.
+double percentile(std::vector<double> values, double p);
+
+/// Mann-Whitney ROC AUC for binary labels given scores. Returns 0.5 when a
+/// class is absent. Ties contribute 1/2.
+double roc_auc(const std::vector<float>& scores, const std::vector<char>& labels);
+
+/// Relative-error map between two maps (element-wise |p - t| / max(t, eps)).
+util::MapF relative_error_map(const util::MapF& predicted,
+                              const util::MapF& truth, float eps = 1e-6f);
+
+}  // namespace pdnn::eval

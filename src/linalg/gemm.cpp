@@ -1,0 +1,96 @@
+#include "linalg/gemm.hpp"
+
+#include <algorithm>
+
+namespace pdnn::linalg {
+
+namespace {
+
+// Block sizes chosen so one A panel (kMB x kKB floats) plus one B panel
+// (kKB x n row-slab) stay L1/L2 resident on typical x86 cores.
+constexpr int kMB = 64;
+constexpr int kKB = 256;
+
+void scale_rows(int m, int n, float beta, float* c, int ldc) {
+  if (beta == 1.0f) return;
+  for (int i = 0; i < m; ++i) {
+    float* row = c + static_cast<std::ptrdiff_t>(i) * ldc;
+    if (beta == 0.0f) {
+      std::fill(row, row + n, 0.0f);
+    } else {
+      for (int j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_nn(int m, int n, int k, float alpha, const float* a, int lda,
+             const float* b, int ldb, float beta, float* c, int ldc) {
+  scale_rows(m, n, beta, c, ldc);
+  for (int i0 = 0; i0 < m; i0 += kMB) {
+    const int i1 = std::min(m, i0 + kMB);
+    for (int p0 = 0; p0 < k; p0 += kKB) {
+      const int p1 = std::min(k, p0 + kKB);
+      for (int i = i0; i < i1; ++i) {
+        float* crow = c + static_cast<std::ptrdiff_t>(i) * ldc;
+        const float* arow = a + static_cast<std::ptrdiff_t>(i) * lda;
+        for (int p = p0; p < p1; ++p) {
+          const float aip = alpha * arow[p];
+          if (aip == 0.0f) continue;
+          const float* brow = b + static_cast<std::ptrdiff_t>(p) * ldb;
+          // Inner loop over j: contiguous on both B and C, auto-vectorizes.
+          for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_nt(int m, int n, int k, float alpha, const float* a, int lda,
+             const float* b, int ldb, float beta, float* c, int ldc) {
+  scale_rows(m, n, beta, c, ldc);
+  for (int i0 = 0; i0 < m; i0 += kMB) {
+    const int i1 = std::min(m, i0 + kMB);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::ptrdiff_t>(j) * ldb;
+      for (int i = i0; i < i1; ++i) {
+        const float* arow = a + static_cast<std::ptrdiff_t>(i) * lda;
+        // Dot product along k: contiguous on both operands.
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        c[static_cast<std::ptrdiff_t>(i) * ldc + j] += alpha * acc;
+      }
+    }
+  }
+}
+
+void gemm_tn(int m, int n, int k, float alpha, const float* a, int lda,
+             const float* b, int ldb, float beta, float* c, int ldc) {
+  scale_rows(m, n, beta, c, ldc);
+  for (int p0 = 0; p0 < k; p0 += kKB) {
+    const int p1 = std::min(k, p0 + kKB);
+    for (int p = p0; p < p1; ++p) {
+      const float* arow = a + static_cast<std::ptrdiff_t>(p) * lda;  // A[p, :]
+      const float* brow = b + static_cast<std::ptrdiff_t>(p) * ldb;  // B[p, :]
+      for (int i = 0; i < m; ++i) {
+        const float api = alpha * arow[i];
+        if (api == 0.0f) continue;
+        float* crow = c + static_cast<std::ptrdiff_t>(i) * ldc;
+        for (int j = 0; j < n; ++j) crow[j] += api * brow[j];
+      }
+    }
+  }
+}
+
+void axpy(int n, float alpha, const float* x, float* y) {
+  for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double dot(int n, const float* x, const float* y) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += static_cast<double>(x[i]) * y[i];
+  return acc;
+}
+
+}  // namespace pdnn::linalg

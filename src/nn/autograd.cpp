@@ -1,0 +1,83 @@
+#include "nn/autograd.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace pdnn::nn {
+
+int NoGradGuard::depth_ = 0;
+
+NoGradGuard::NoGradGuard() { ++depth_; }
+NoGradGuard::~NoGradGuard() { --depth_; }
+bool NoGradGuard::enabled() { return depth_ == 0; }
+
+Tensor& Node::ensure_grad() {
+  if (!grad.defined()) grad = Tensor::zeros(value.shape());
+  return grad;
+}
+
+Var::Var(Tensor value, bool requires_grad) : node_(std::make_shared<Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Var Var::from_op(Tensor value, std::vector<NodePtr> parents,
+                 std::function<void(Node&)> backward_op) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  if (NoGradGuard::enabled()) {
+    for (const NodePtr& p : parents) {
+      if (p->requires_grad) {
+        node->requires_grad = true;
+        break;
+      }
+    }
+  }
+  if (node->requires_grad) {
+    node->parents = std::move(parents);
+    node->backward_op = std::move(backward_op);
+  }
+  return Var(std::move(node));
+}
+
+void Var::backward() {
+  PDN_CHECK(defined(), "backward on undefined Var");
+  PDN_CHECK(node_->value.numel() == 1, "backward requires a scalar output");
+  PDN_CHECK(node_->requires_grad, "backward on a non-grad variable");
+
+  // Iterative post-order DFS producing a topological order (children after
+  // all their parents in `order` reversed).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({node_.get(), 0});
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent++].get();
+      if (parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+
+  node_->ensure_grad().fill(1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_op && node->grad.defined()) {
+      node->backward_op(*node);
+    }
+  }
+}
+
+}  // namespace pdnn::nn

@@ -1,0 +1,80 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// Each differentiable op creates a Node holding the output value, links to
+// its parents, and a closure that scatters the output gradient back to the
+// parents. Var::backward() topologically orders the tape and runs the
+// closures. This is what lets the fusion subnet share weights across a
+// variable number of time steps and lets gradients flow through the temporal
+// max / min / mu+3sigma reductions — the pieces of the paper's architecture
+// that a static layer-stack implementation handles poorly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace pdnn::nn {
+
+struct Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// One tape entry.
+struct Node {
+  Tensor value;
+  Tensor grad;  // lazily allocated, same shape as value
+  bool requires_grad = false;
+  std::vector<NodePtr> parents;
+  /// Accumulates this node's grad into its parents' grads.
+  std::function<void(Node&)> backward_op;
+
+  /// Allocate (zero) grad storage if absent.
+  Tensor& ensure_grad();
+};
+
+/// Handle to a tape node; cheap to copy.
+class Var {
+ public:
+  Var() = default;
+
+  /// Leaf variable. requires_grad marks trainable parameters.
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const { return node_->value; }
+  Tensor& mutable_value() { return node_->value; }
+  Tensor& grad() const { return node_->ensure_grad(); }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+  const NodePtr& node() const { return node_; }
+
+  /// Reverse pass from this (scalar) variable: seeds d(this)/d(this) = 1 and
+  /// propagates through the tape in reverse topological order.
+  void backward();
+
+  /// Build a Var from an op result. Grad tracking is skipped when no parent
+  /// requires grad or when autograd is globally disabled.
+  static Var from_op(Tensor value, std::vector<NodePtr> parents,
+                     std::function<void(Node&)> backward_op);
+
+ private:
+  explicit Var(NodePtr node) : node_(std::move(node)) {}
+  NodePtr node_;
+};
+
+/// RAII guard disabling tape construction (inference mode). Nested guards
+/// are allowed; autograd resumes when the outermost guard is destroyed.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  static bool enabled();  ///< true when gradients are being recorded
+
+ private:
+  static int depth_;
+};
+
+}  // namespace pdnn::nn

@@ -1,0 +1,293 @@
+#include "nn/conv.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "linalg/gemm.hpp"
+#include "util/check.hpp"
+
+namespace pdnn::nn {
+
+namespace {
+
+/// Lower one sample (C x H x W) into columns:
+///   col[(c*kh + ki)*kw + kj][oh*wo + ow] = src[c][oh*s - p + ki][ow*s - p + kj]
+/// with the boundary handled per `mode`. The column grid (ho x wo) is passed
+/// in explicitly so the same routine serves conv forward and the transposed
+/// convolution's backward, where the grid is the *input* geometry.
+void im2col(const float* src, int c, int h, int w, int kh, int kw, int stride,
+            int pad, PadMode mode, int ho, int wo, float* col) {
+  const std::int64_t owo = static_cast<std::int64_t>(ho) * wo;
+  for (int ch = 0; ch < c; ++ch) {
+    const float* plane = src + static_cast<std::int64_t>(ch) * h * w;
+    for (int ki = 0; ki < kh; ++ki) {
+      for (int kj = 0; kj < kw; ++kj) {
+        float* dst =
+            col + (static_cast<std::int64_t>(ch) * kh * kw + ki * kw + kj) * owo;
+        for (int oh = 0; oh < ho; ++oh) {
+          int ih = oh * stride - pad + ki;
+          bool row_oob = ih < 0 || ih >= h;
+          if (row_oob && mode == PadMode::kReplicate) {
+            ih = std::clamp(ih, 0, h - 1);
+            row_oob = false;
+          }
+          float* out_row = dst + static_cast<std::int64_t>(oh) * wo;
+          if (row_oob) {
+            std::fill(out_row, out_row + wo, 0.0f);
+            continue;
+          }
+          const float* in_row = plane + static_cast<std::int64_t>(ih) * w;
+          for (int ow = 0; ow < wo; ++ow) {
+            int iw = ow * stride - pad + kj;
+            if (iw < 0 || iw >= w) {
+              if (mode == PadMode::kReplicate) {
+                iw = std::clamp(iw, 0, w - 1);
+                out_row[ow] = in_row[iw];
+              } else {
+                out_row[ow] = 0.0f;
+              }
+            } else {
+              out_row[ow] = in_row[iw];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Adjoint of im2col: scatter-add columns back into the image. Replication
+/// padding accumulates clamped reads into the edge pixels, making this the
+/// exact transpose of the forward lowering.
+void col2im_acc(const float* col, int c, int h, int w, int kh, int kw,
+                int stride, int pad, PadMode mode, int ho, int wo, float* dst) {
+  const std::int64_t owo = static_cast<std::int64_t>(ho) * wo;
+  for (int ch = 0; ch < c; ++ch) {
+    float* plane = dst + static_cast<std::int64_t>(ch) * h * w;
+    for (int ki = 0; ki < kh; ++ki) {
+      for (int kj = 0; kj < kw; ++kj) {
+        const float* src =
+            col + (static_cast<std::int64_t>(ch) * kh * kw + ki * kw + kj) * owo;
+        for (int oh = 0; oh < ho; ++oh) {
+          int ih = oh * stride - pad + ki;
+          if (ih < 0 || ih >= h) {
+            if (mode != PadMode::kReplicate) continue;
+            ih = std::clamp(ih, 0, h - 1);
+          }
+          float* out_row = plane + static_cast<std::int64_t>(ih) * w;
+          const float* in_row = src + static_cast<std::int64_t>(oh) * wo;
+          for (int ow = 0; ow < wo; ++ow) {
+            int iw = ow * stride - pad + kj;
+            if (iw < 0 || iw >= w) {
+              if (mode != PadMode::kReplicate) continue;
+              iw = std::clamp(iw, 0, w - 1);
+            }
+            out_row[iw] += in_row[ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Reusable scratch to avoid per-call allocation in the training loop.
+std::vector<float>& scratch_a() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+std::vector<float>& scratch_b() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+
+}  // namespace
+
+Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad,
+           PadMode mode) {
+  const Tensor& xv = x.value();
+  const Tensor& wv = w.value();
+  const Tensor& bv = b.value();
+  PDN_CHECK(xv.ndim() == 4 && wv.ndim() == 4, "conv2d: expects 4-D tensors");
+  PDN_CHECK(xv.c() == wv.c(), "conv2d: channel mismatch");
+  PDN_CHECK(bv.ndim() == 1 && bv.dim(0) == wv.n(), "conv2d: bias mismatch");
+  PDN_CHECK(stride >= 1 && pad >= 0, "conv2d: bad stride/pad");
+
+  const int n = xv.n(), cin = xv.c(), h = xv.h(), wd = xv.w();
+  const int cout = wv.n(), kh = wv.h(), kw = wv.w();
+  const int ho = conv_out_size(h, kh, stride, pad);
+  const int wo = conv_out_size(wd, kw, stride, pad);
+  PDN_CHECK(ho > 0 && wo > 0, "conv2d: output collapses to zero size");
+
+  const int ckk = cin * kh * kw;
+  const std::int64_t owo = static_cast<std::int64_t>(ho) * wo;
+  Tensor out({n, cout, ho, wo});
+
+  std::vector<float>& col = scratch_a();
+  col.resize(static_cast<std::size_t>(ckk) * owo);
+  for (int bidx = 0; bidx < n; ++bidx) {
+    const float* src = xv.data() + static_cast<std::int64_t>(bidx) * cin * h * wd;
+    float* dst = out.data() + static_cast<std::int64_t>(bidx) * cout * owo;
+    im2col(src, cin, h, wd, kh, kw, stride, pad, mode, ho, wo, col.data());
+    linalg::gemm_nn(cout, static_cast<int>(owo), ckk, 1.0f, wv.data(), ckk,
+                    col.data(), static_cast<int>(owo), 0.0f, dst,
+                    static_cast<int>(owo));
+    for (int co = 0; co < cout; ++co) {
+      const float bias = bv.data()[co];
+      float* row = dst + static_cast<std::int64_t>(co) * owo;
+      for (std::int64_t i = 0; i < owo; ++i) row[i] += bias;
+    }
+  }
+
+  auto backward = [xv, wv, stride, pad, mode, n, cin, h, wd, cout, kh, kw, ho,
+                   wo, ckk, owo](Node& node) {
+    const NodePtr& px = node.parents[0];
+    const NodePtr& pw = node.parents[1];
+    const NodePtr& pb = node.parents[2];
+    const float* gy = node.grad.data();
+
+    if (pb->requires_grad) {
+      float* gb = pb->ensure_grad().data();
+      for (int bidx = 0; bidx < n; ++bidx) {
+        for (int co = 0; co < cout; ++co) {
+          const float* row =
+              gy + (static_cast<std::int64_t>(bidx) * cout + co) * owo;
+          double acc = 0.0;
+          for (std::int64_t i = 0; i < owo; ++i) acc += row[i];
+          gb[co] += static_cast<float>(acc);
+        }
+      }
+    }
+
+    std::vector<float>& col = scratch_a();
+    std::vector<float>& dcol = scratch_b();
+    if (pw->requires_grad || px->requires_grad) {
+      col.resize(static_cast<std::size_t>(ckk) * owo);
+      dcol.resize(static_cast<std::size_t>(ckk) * owo);
+      for (int bidx = 0; bidx < n; ++bidx) {
+        const float* gy_b =
+            gy + static_cast<std::int64_t>(bidx) * cout * owo;
+        if (pw->requires_grad) {
+          const float* src =
+              xv.data() + static_cast<std::int64_t>(bidx) * cin * h * wd;
+          im2col(src, cin, h, wd, kh, kw, stride, pad, mode, ho, wo, col.data());
+          // dW += gy_b (Cout x OWO) * col^T (OWO x CKK).
+          linalg::gemm_nt(cout, ckk, static_cast<int>(owo), 1.0f, gy_b,
+                          static_cast<int>(owo), col.data(),
+                          static_cast<int>(owo), 1.0f,
+                          pw->ensure_grad().data(), ckk);
+        }
+        if (px->requires_grad) {
+          // dcol = W^T (CKK x Cout) * gy_b (Cout x OWO).
+          linalg::gemm_tn(ckk, static_cast<int>(owo), cout, 1.0f, wv.data(),
+                          ckk, gy_b, static_cast<int>(owo), 0.0f, dcol.data(),
+                          static_cast<int>(owo));
+          float* gx = px->ensure_grad().data() +
+                      static_cast<std::int64_t>(bidx) * cin * h * wd;
+          col2im_acc(dcol.data(), cin, h, wd, kh, kw, stride, pad, mode, ho, wo,
+                     gx);
+        }
+      }
+    }
+  };
+
+  return Var::from_op(out, {x.node(), w.node(), b.node()}, backward);
+}
+
+Var conv_transpose2d(const Var& x, const Var& w, const Var& b, int stride,
+                     int pad, int output_padding) {
+  const Tensor& xv = x.value();
+  const Tensor& wv = w.value();
+  const Tensor& bv = b.value();
+  PDN_CHECK(xv.ndim() == 4 && wv.ndim() == 4,
+            "conv_transpose2d: expects 4-D tensors");
+  PDN_CHECK(xv.c() == wv.n(), "conv_transpose2d: channel mismatch");
+  PDN_CHECK(bv.ndim() == 1 && bv.dim(0) == wv.c(),
+            "conv_transpose2d: bias mismatch");
+  PDN_CHECK(stride >= 1 && pad >= 0 && output_padding >= 0 &&
+                output_padding < stride,
+            "conv_transpose2d: bad stride/pad/output_padding");
+
+  const int n = xv.n(), cin = xv.c(), h = xv.h(), wd = xv.w();
+  const int cout = wv.c(), kh = wv.h(), kw = wv.w();
+  const int ho = conv_transpose_out_size(h, kh, stride, pad, output_padding);
+  const int wo = conv_transpose_out_size(wd, kw, stride, pad, output_padding);
+  PDN_CHECK(ho > 0 && wo > 0, "conv_transpose2d: output collapses");
+
+  const int ckk = cout * kh * kw;
+  const std::int64_t hw = static_cast<std::int64_t>(h) * wd;
+  const std::int64_t out_hw = static_cast<std::int64_t>(ho) * wo;
+  Tensor out({n, cout, ho, wo});
+
+  std::vector<float>& col = scratch_a();
+  col.resize(static_cast<std::size_t>(ckk) * hw);
+  for (int bidx = 0; bidx < n; ++bidx) {
+    const float* src = xv.data() + static_cast<std::int64_t>(bidx) * cin * hw;
+    float* dst = out.data() + static_cast<std::int64_t>(bidx) * cout * out_hw;
+    // col (CKK x HW) = W^T (CKK x Cin) * x (Cin x HW); W viewed Cin x CKK.
+    linalg::gemm_tn(ckk, static_cast<int>(hw), cin, 1.0f, wv.data(), ckk, src,
+                    static_cast<int>(hw), 0.0f, col.data(),
+                    static_cast<int>(hw));
+    // Scatter columns into the output image: image geometry (ho x wo),
+    // column grid = input geometry (h x wd). Zero padding by construction.
+    col2im_acc(col.data(), cout, ho, wo, kh, kw, stride, pad, PadMode::kZero, h,
+               wd, dst);
+    for (int co = 0; co < cout; ++co) {
+      const float bias = bv.data()[co];
+      float* row = dst + static_cast<std::int64_t>(co) * out_hw;
+      for (std::int64_t i = 0; i < out_hw; ++i) row[i] += bias;
+    }
+  }
+
+  auto backward = [xv, wv, stride, pad, n, cin, h, wd, cout, kh, kw, ho, wo,
+                   ckk, hw, out_hw](Node& node) {
+    const NodePtr& px = node.parents[0];
+    const NodePtr& pw = node.parents[1];
+    const NodePtr& pb = node.parents[2];
+    const float* gy = node.grad.data();
+
+    if (pb->requires_grad) {
+      float* gb = pb->ensure_grad().data();
+      for (int bidx = 0; bidx < n; ++bidx) {
+        for (int co = 0; co < cout; ++co) {
+          const float* row =
+              gy + (static_cast<std::int64_t>(bidx) * cout + co) * out_hw;
+          double acc = 0.0;
+          for (std::int64_t i = 0; i < out_hw; ++i) acc += row[i];
+          gb[co] += static_cast<float>(acc);
+        }
+      }
+    }
+
+    if (!pw->requires_grad && !px->requires_grad) return;
+    std::vector<float>& col = scratch_a();
+    col.resize(static_cast<std::size_t>(ckk) * hw);
+    for (int bidx = 0; bidx < n; ++bidx) {
+      const float* gy_b = gy + static_cast<std::int64_t>(bidx) * cout * out_hw;
+      // Lower the output gradient over the *input* grid: the adjoint of the
+      // forward scatter.
+      im2col(gy_b, cout, ho, wo, kh, kw, stride, pad, PadMode::kZero, h, wd,
+             col.data());
+      if (px->requires_grad) {
+        // dX (Cin x HW) += W (Cin x CKK) * col (CKK x HW).
+        float* gx = px->ensure_grad().data() +
+                    static_cast<std::int64_t>(bidx) * cin * hw;
+        linalg::gemm_nn(cin, static_cast<int>(hw), ckk, 1.0f, wv.data(), ckk,
+                        col.data(), static_cast<int>(hw), 1.0f, gx,
+                        static_cast<int>(hw));
+      }
+      if (pw->requires_grad) {
+        // dW (Cin x CKK) += x (Cin x HW) * col^T (HW x CKK).
+        const float* src =
+            xv.data() + static_cast<std::int64_t>(bidx) * cin * hw;
+        linalg::gemm_nt(cin, ckk, static_cast<int>(hw), 1.0f, src,
+                        static_cast<int>(hw), col.data(),
+                        static_cast<int>(hw), 1.0f, pw->ensure_grad().data(),
+                        ckk);
+      }
+    }
+  };
+
+  return Var::from_op(out, {x.node(), w.node(), b.node()}, backward);
+}
+
+}  // namespace pdnn::nn

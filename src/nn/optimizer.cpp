@@ -1,0 +1,49 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pdnn::nn {
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  PDN_CHECK(!params_.empty(), "Adam: no parameters");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.push_back(Tensor::zeros(p->var.value().shape()));
+    v_.push_back(Tensor::zeros(p->var.value().shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (!p->var.node()->grad.defined()) continue;  // parameter unused this step
+    float* w = p->var.mutable_value().data();
+    const float* g = p->var.node()->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const std::int64_t n = p->var.value().numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) {
+    if (p->var.node()->grad.defined()) p->var.grad().zero();
+  }
+}
+
+}  // namespace pdnn::nn

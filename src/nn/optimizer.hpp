@@ -1,0 +1,35 @@
+// Adam optimizer — the paper trains all three subnets with Adam at a
+// learning rate of 1e-4 (§3.4.4).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace pdnn::nn {
+
+/// Adam (Kingma & Ba, 2014) with bias correction.
+class Adam {
+ public:
+  explicit Adam(std::vector<Parameter*> params, float lr = 1e-4f,
+                float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+  /// Apply one update from the gradients currently stored on the parameters.
+  void step();
+
+  /// Zero all parameter gradients.
+  void zero_grad();
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+  int steps_taken() const { return t_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  float lr_, beta1_, beta2_, eps_;
+  int t_ = 0;
+};
+
+}  // namespace pdnn::nn

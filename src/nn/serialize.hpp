@@ -1,0 +1,23 @@
+// Binary weight (de)serialization.
+//
+// Format: magic "PDNW", uint32 count, then per parameter: uint32 name
+// length, name bytes, uint32 ndim, int32 dims..., float32 data. Loading
+// verifies names and shapes against the module's registration order, so a
+// weight file cannot silently attach to the wrong architecture.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace pdnn::nn {
+
+/// Write all parameters to a file.
+void save_parameters(std::vector<Parameter*> params, const std::string& path);
+
+/// Read parameters from a file into the module's existing tensors.
+/// Throws CheckError on any name/shape mismatch.
+void load_parameters(std::vector<Parameter*> params, const std::string& path);
+
+}  // namespace pdnn::nn

@@ -1,0 +1,110 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pdnn::nn {
+
+namespace {
+std::int64_t shape_numel(const std::vector<int>& shape) {
+  std::int64_t n = 1;
+  for (int d : shape) {
+    PDN_CHECK(d >= 0, "Tensor: negative dimension");
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  storage_ = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
+}
+
+Tensor Tensor::zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::from_data(std::vector<int> shape, std::vector<float> data) {
+  PDN_CHECK(shape_numel(shape) == static_cast<std::int64_t>(data.size()),
+            "from_data: size mismatch");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.storage_ = std::make_shared<std::vector<float>>(std::move(data));
+  return t;
+}
+
+int Tensor::dim(int i) const {
+  PDN_CHECK(i >= 0 && i < ndim(), "Tensor::dim out of range");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Tensor::numel() const {
+  return defined() ? static_cast<std::int64_t>(storage_->size()) : 0;
+}
+
+float& Tensor::at4(int n, int c, int h, int w) {
+  PDN_CHECK(ndim() == 4, "at4 requires a 4-D tensor");
+  return (*storage_)[((static_cast<std::size_t>(n) * dim(1) + c) * dim(2) + h) *
+                         dim(3) +
+                     w];
+}
+
+float Tensor::at4(int n, int c, int h, int w) const {
+  PDN_CHECK(ndim() == 4, "at4 requires a 4-D tensor");
+  return (*storage_)[((static_cast<std::size_t>(n) * dim(1) + c) * dim(2) + h) *
+                         dim(3) +
+                     w];
+}
+
+float Tensor::item() const {
+  PDN_CHECK(numel() == 1, "item() requires a single-element tensor");
+  return (*storage_)[0];
+}
+
+Tensor Tensor::clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  return t;
+}
+
+Tensor Tensor::reshaped(std::vector<int> shape) const {
+  PDN_CHECK(shape_numel(shape) == numel(), "reshaped: element count mismatch");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.storage_ = storage_;
+  return t;
+}
+
+void Tensor::fill(float v) {
+  std::fill(storage_->begin(), storage_->end(), v);
+}
+
+void Tensor::add_scaled(const Tensor& x, float alpha) {
+  PDN_CHECK(same_shape(x), "add_scaled: shape mismatch");
+  float* dst = data();
+  const float* src = x.data();
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (int i = 0; i < ndim(); ++i) {
+    if (i) os << 'x';
+    os << shape_[static_cast<std::size_t>(i)];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace pdnn::nn

@@ -1,0 +1,69 @@
+// Dense float tensors with shared storage.
+//
+// The minimal tensor the CNN library needs: contiguous row-major storage,
+// NCHW convention for 4-D image tensors, value semantics with shallow copies
+// (clone() for deep copies). All neural-network state — activations, weights,
+// gradients — lives in these.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdnn::nn {
+
+/// Contiguous row-major float tensor. Copying a Tensor shares storage
+/// (like a NumPy view of the whole buffer); use clone() to deep-copy.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape);
+  static Tensor full(std::vector<int> shape, float value);
+  static Tensor scalar(float value) { return full({1}, value); }
+  static Tensor from_data(std::vector<int> shape, std::vector<float> data);
+
+  bool defined() const { return storage_ != nullptr; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const;
+  const std::vector<int>& shape() const { return shape_; }
+  std::int64_t numel() const;
+
+  float* data() { return storage_->data(); }
+  const float* data() const { return storage_->data(); }
+
+  /// NCHW accessors (require ndim == 4).
+  int n() const { return dim(0); }
+  int c() const { return dim(1); }
+  int h() const { return dim(2); }
+  int w() const { return dim(3); }
+  float& at4(int n, int c, int h, int w);
+  float at4(int n, int c, int h, int w) const;
+
+  /// Scalar read (requires numel == 1).
+  float item() const;
+
+  Tensor clone() const;
+
+  /// Same storage, new shape (element counts must match).
+  Tensor reshaped(std::vector<int> shape) const;
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// Element-wise y += alpha * x (shapes must match).
+  void add_scaled(const Tensor& x, float alpha);
+
+  std::string shape_string() const;
+
+  /// True when shapes are identical.
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::shared_ptr<std::vector<float>> storage_;
+  std::vector<int> shape_;
+};
+
+}  // namespace pdnn::nn

@@ -1,0 +1,74 @@
+// PDN design specifications.
+//
+// The paper evaluates on four commercial designs D1-D4 (Table 1). Those are
+// proprietary, so this module synthesizes four designs with the same
+// *relative* characteristics: identical tile-array aspect ratios, the same
+// ordering of load counts and hotspot ratios, and electrical parameters tuned
+// so the mean worst-case noise lands near the values Table 1 reports at
+// Vdd = 1 V. See DESIGN.md §1 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdnn::pdn {
+
+/// Experiment scale. `kSmall` fits a single-core CI run; `kPaper` restores
+/// the published tile-array dimensions (50x50 … 180x180).
+enum class Scale { kSmall, kMedium, kPaper };
+
+Scale scale_from_string(const std::string& name);
+std::string to_string(Scale scale);
+
+/// Complete parameterization of one synthetic PDN design.
+struct DesignSpec {
+  std::string name;
+
+  // --- Geometry -----------------------------------------------------------
+  int tile_rows = 0;       ///< m: tile array rows (paper's m x n grid)
+  int tile_cols = 0;       ///< n: tile array columns
+  int nodes_per_tile = 2;  ///< linear density: bottom grid = (m*k) x (n*k)
+  int top_stride = 4;      ///< top-metal grid pitch in bottom-grid nodes
+  int bump_pitch = 3;      ///< place a C4 bump every bump_pitch top nodes
+
+  // --- Electrical ---------------------------------------------------------
+  // Tuned so tile-level worst-case noise is spatially *local* (the paper's
+  // §3.4.1 locality premise): a dense bump array with low package inductance
+  // and a moderately resistive on-die grid, so hotspots form around active
+  // clusters rather than one global package droop.
+  double r_seg_bottom = 0.5;    ///< ohms per bottom-layer segment
+  double r_seg_top = 0.3;       ///< ohms per top-layer segment
+  double r_via = 0.3;           ///< ohms per via stack
+  double r_bump = 0.01;         ///< ohms, bump resistance
+  double pkg_r = 0.02;          ///< ohms, package series resistance per bump
+                                ///< (damps the package/die resonance)
+  double pkg_l = 5e-12;         ///< henries, package inductance per bump
+  double decap_per_node = 15e-15;  ///< farads of decap at each bottom node
+  double vdd = 1.0;             ///< volts, nominal supply
+
+  // --- Workload -----------------------------------------------------------
+  int num_loads = 0;          ///< number of switching current sources
+  int load_clusters = 3;      ///< spatial clusters the loads concentrate in
+  double cluster_fraction = 0.6;  ///< fraction of loads inside clusters
+  double unit_current = 1e-3;     ///< amperes; calibrated later (linearity)
+  double target_mean_noise = 0.1; ///< volts; Table 1 "Mean WN" analog
+  std::uint64_t seed = 1;
+
+  int bottom_rows() const { return tile_rows * nodes_per_tile; }
+  int bottom_cols() const { return tile_cols * nodes_per_tile; }
+};
+
+/// The four Table-1 designs at the requested scale.
+DesignSpec design_d1(Scale scale);
+DesignSpec design_d2(Scale scale);
+DesignSpec design_d3(Scale scale);
+DesignSpec design_d4(Scale scale);
+
+/// All four, in order.
+std::vector<DesignSpec> all_designs(Scale scale);
+
+/// Look up one design by name ("D1".."D4").
+DesignSpec design_by_name(const std::string& name, Scale scale);
+
+}  // namespace pdnn::pdn

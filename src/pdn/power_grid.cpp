@@ -1,0 +1,184 @@
+#include "pdn/power_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pdnn::pdn {
+
+PowerGrid::PowerGrid(const DesignSpec& spec) : spec_(spec) {
+  PDN_CHECK(spec.tile_rows > 0 && spec.tile_cols > 0, "PowerGrid: empty tile grid");
+  PDN_CHECK(spec.nodes_per_tile > 0, "PowerGrid: nodes_per_tile must be positive");
+  PDN_CHECK(spec.top_stride > 0 && spec.bump_pitch > 0, "PowerGrid: bad pitches");
+
+  bottom_rows_ = spec.bottom_rows();
+  bottom_cols_ = spec.bottom_cols();
+  num_bottom_ = bottom_rows_ * bottom_cols_;
+  top_rows_ = (bottom_rows_ + spec.top_stride - 1) / spec.top_stride;
+  top_cols_ = (bottom_cols_ + spec.top_stride - 1) / spec.top_stride;
+  num_top_ = top_rows_ * top_cols_;
+  PDN_CHECK(spec.num_loads <= num_bottom_, "PowerGrid: more loads than nodes");
+
+  build_matrix();
+  place_loads();
+}
+
+void PowerGrid::build_matrix() {
+  const int stride = spec_.top_stride;
+  const double g_bottom = 1.0 / spec_.r_seg_bottom;
+  const double g_top = 1.0 / spec_.r_seg_top;
+  const double g_via = 1.0 / spec_.r_via;
+
+  std::vector<sparse::Triplet> trips;
+  trips.reserve(static_cast<std::size_t>(num_nodes()) * 6);
+
+  const auto stamp = [&trips](int a, int b, double g) {
+    trips.push_back({a, a, g});
+    trips.push_back({b, b, g});
+    trips.push_back({a, b, -g});
+    trips.push_back({b, a, -g});
+  };
+
+  // Bottom-layer mesh.
+  for (int r = 0; r < bottom_rows_; ++r) {
+    for (int c = 0; c < bottom_cols_; ++c) {
+      const int n = bottom_node(r, c);
+      if (c + 1 < bottom_cols_) stamp(n, bottom_node(r, c + 1), g_bottom);
+      if (r + 1 < bottom_rows_) stamp(n, bottom_node(r + 1, c), g_bottom);
+    }
+  }
+
+  // Top-layer mesh (node ids offset by num_bottom_).
+  const auto top_node = [this](int rt, int ct) {
+    return num_bottom_ + rt * top_cols_ + ct;
+  };
+  for (int rt = 0; rt < top_rows_; ++rt) {
+    for (int ct = 0; ct < top_cols_; ++ct) {
+      if (ct + 1 < top_cols_) stamp(top_node(rt, ct), top_node(rt, ct + 1), g_top);
+      if (rt + 1 < top_rows_) stamp(top_node(rt, ct), top_node(rt + 1, ct), g_top);
+    }
+  }
+
+  // Via stacks: each top node drops to the bottom node underneath it.
+  for (int rt = 0; rt < top_rows_; ++rt) {
+    for (int ct = 0; ct < top_cols_; ++ct) {
+      const int rb = std::min(rt * stride, bottom_rows_ - 1);
+      const int cb = std::min(ct * stride, bottom_cols_ - 1);
+      stamp(top_node(rt, ct), bottom_node(rb, cb), g_via);
+    }
+  }
+
+  g_ = sparse::CsrMatrix::from_triplets(num_nodes(), trips);
+
+  // Decap on every bottom node; top metal carries no device capacitance.
+  cap_.assign(static_cast<std::size_t>(num_nodes()), 0.0);
+  for (int i = 0; i < num_bottom_; ++i) {
+    cap_[static_cast<std::size_t>(i)] = spec_.decap_per_node;
+  }
+
+  // C4 bump array on the top grid, centered.
+  bumps_.clear();
+  const int pitch = spec_.bump_pitch;
+  const int off_r = (top_rows_ % pitch) / 2;
+  const int off_c = (top_cols_ % pitch) / 2;
+  for (int rt = off_r; rt < top_rows_; rt += pitch) {
+    for (int ct = off_c; ct < top_cols_; ct += pitch) {
+      BumpBranch b;
+      b.node = top_node(rt, ct);
+      b.r = spec_.r_bump + spec_.pkg_r;
+      b.l = spec_.pkg_l;
+      b.row = std::min(rt * stride, bottom_rows_ - 1);
+      b.col = std::min(ct * stride, bottom_cols_ - 1);
+      bumps_.push_back(b);
+    }
+  }
+  PDN_CHECK(!bumps_.empty(), "PowerGrid: bump array came out empty");
+}
+
+void PowerGrid::place_loads() {
+  util::Rng rng(spec_.seed);
+
+  // Cluster centers, kept away from the die edge so clusters stay on-die.
+  struct Center {
+    double r, c, radius;
+  };
+  std::vector<Center> centers;
+  const int k = std::max(1, spec_.load_clusters);
+  for (int i = 0; i < k; ++i) {
+    Center ctr;
+    ctr.r = rng.uniform(0.15, 0.85) * bottom_rows_;
+    ctr.c = rng.uniform(0.15, 0.85) * bottom_cols_;
+    ctr.radius = rng.uniform(0.10, 0.20) * std::max(bottom_rows_, bottom_cols_);
+    centers.push_back(ctr);
+  }
+
+  std::vector<char> used(static_cast<std::size_t>(num_bottom_), 0);
+  load_nodes_.clear();
+  load_nodes_.reserve(static_cast<std::size_t>(spec_.num_loads));
+
+  const auto try_place = [&](int r, int c) {
+    r = std::clamp(r, 0, bottom_rows_ - 1);
+    c = std::clamp(c, 0, bottom_cols_ - 1);
+    const int n = bottom_node(r, c);
+    if (used[static_cast<std::size_t>(n)]) return false;
+    used[static_cast<std::size_t>(n)] = 1;
+    load_nodes_.push_back(n);
+    return true;
+  };
+
+  // Clustered fraction: Gaussian scatter around a random center.
+  const int clustered =
+      static_cast<int>(spec_.cluster_fraction * spec_.num_loads);
+  int placed = 0;
+  int attempts = 0;
+  while (placed < clustered && attempts < spec_.num_loads * 200) {
+    ++attempts;
+    const Center& ctr = centers[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(centers.size()) - 1))];
+    const int r = static_cast<int>(std::lround(rng.normal(ctr.r, ctr.radius)));
+    const int c = static_cast<int>(std::lround(rng.normal(ctr.c, ctr.radius)));
+    if (try_place(r, c)) ++placed;
+  }
+  // Remainder: uniform background activity.
+  while (placed < spec_.num_loads && attempts < spec_.num_loads * 400) {
+    ++attempts;
+    if (try_place(rng.uniform_int(0, bottom_rows_ - 1),
+                  rng.uniform_int(0, bottom_cols_ - 1))) {
+      ++placed;
+    }
+  }
+  PDN_CHECK(placed == spec_.num_loads, "PowerGrid: failed to place all loads");
+  std::sort(load_nodes_.begin(), load_nodes_.end());
+}
+
+double PowerGrid::node_row(int node) const {
+  if (is_bottom(node)) return node / bottom_cols_;
+  const int t = node - num_bottom_;
+  return std::min((t / top_cols_) * spec_.top_stride, bottom_rows_ - 1);
+}
+
+double PowerGrid::node_col(int node) const {
+  if (is_bottom(node)) return node % bottom_cols_;
+  const int t = node - num_bottom_;
+  return std::min((t % top_cols_) * spec_.top_stride, bottom_cols_ - 1);
+}
+
+int PowerGrid::tile_row_of(int bottom) const {
+  return (bottom / bottom_cols_) / spec_.nodes_per_tile;
+}
+
+int PowerGrid::tile_col_of(int bottom) const {
+  return (bottom % bottom_cols_) / spec_.nodes_per_tile;
+}
+
+double PowerGrid::tile_center_row(int tr) const {
+  return (tr + 0.5) * spec_.nodes_per_tile - 0.5;
+}
+
+double PowerGrid::tile_center_col(int tc) const {
+  return (tc + 0.5) * spec_.nodes_per_tile - 0.5;
+}
+
+}  // namespace pdnn::pdn

@@ -1,0 +1,88 @@
+// On-die power grid model.
+//
+// Two metal layers are modeled explicitly, matching the structure sketched in
+// the paper's Fig. 1: a fine bottom grid where the switching instances and
+// decaps attach, a coarse top grid fed by the C4 bump array, and via stacks
+// connecting the two. The package is a per-bump series R-L macro-model to the
+// ideal Vdd supply — the element whose resonance with the on-die decap makes
+// *dynamic* noise exceed static IR drop, which is the phenomenon the paper's
+// framework predicts.
+#pragma once
+
+#include <vector>
+
+#include "pdn/design.hpp"
+#include "sparse/csr.hpp"
+
+namespace pdnn::pdn {
+
+/// One C4 bump: a series (r, l) branch from the ideal supply to `node`.
+struct BumpBranch {
+  int node = 0;      ///< top-layer node the bump lands on
+  double r = 0.0;    ///< total series resistance (bump + package), ohms
+  double l = 0.0;    ///< package inductance, henries
+  double row = 0.0;  ///< position in bottom-grid coordinates
+  double col = 0.0;
+};
+
+/// Assembled PDN: conductance matrix, capacitances, bumps, loads, geometry.
+class PowerGrid {
+ public:
+  explicit PowerGrid(const DesignSpec& spec);
+
+  const DesignSpec& spec() const { return spec_; }
+
+  /// Total unknown count (bottom + top layer nodes).
+  int num_nodes() const { return num_bottom_ + num_top_; }
+  int num_bottom_nodes() const { return num_bottom_; }
+  int num_top_nodes() const { return num_top_; }
+
+  /// Grid-resistor conductance matrix G (no caps, no bump branches): SPD
+  /// only after the simulator adds the bump/cap companion terms.
+  const sparse::CsrMatrix& conductance() const { return g_; }
+
+  /// Per-node decap (farads); zero on top-layer nodes.
+  const std::vector<double>& node_capacitance() const { return cap_; }
+
+  const std::vector<BumpBranch>& bumps() const { return bumps_; }
+
+  /// Bottom-layer nodes hosting switching current sources, in load order
+  /// (CurrentTrace columns follow this order).
+  const std::vector<int>& load_nodes() const { return load_nodes_; }
+
+  // --- Geometry ------------------------------------------------------------
+  int bottom_rows() const { return bottom_rows_; }
+  int bottom_cols() const { return bottom_cols_; }
+  int bottom_node(int r, int c) const { return r * bottom_cols_ + c; }
+  bool is_bottom(int node) const { return node < num_bottom_; }
+
+  /// Bottom-grid coordinates of any node (top nodes map to their via site).
+  double node_row(int node) const;
+  double node_col(int node) const;
+
+  /// Tile (row, col) containing a bottom node.
+  int tile_row_of(int bottom_node) const;
+  int tile_col_of(int bottom_node) const;
+
+  /// Center of tile (tr, tc) in bottom-grid coordinates.
+  double tile_center_row(int tr) const;
+  double tile_center_col(int tc) const;
+
+ private:
+  void place_loads();
+  void build_matrix();
+
+  DesignSpec spec_;
+  int bottom_rows_ = 0;
+  int bottom_cols_ = 0;
+  int top_rows_ = 0;
+  int top_cols_ = 0;
+  int num_bottom_ = 0;
+  int num_top_ = 0;
+  sparse::CsrMatrix g_;
+  std::vector<double> cap_;
+  std::vector<BumpBranch> bumps_;
+  std::vector<int> load_nodes_;
+};
+
+}  // namespace pdnn::pdn

@@ -1,0 +1,35 @@
+#include "sim/calibrate.hpp"
+
+#include "pdn/power_grid.hpp"
+#include "sim/transient.hpp"
+#include "util/check.hpp"
+
+namespace pdnn::sim {
+
+pdn::DesignSpec calibrate_design(const pdn::DesignSpec& spec,
+                                 const vectors::VectorGenParams& gen_params,
+                                 int num_vectors) {
+  PDN_CHECK(num_vectors > 0, "calibrate_design: need at least one vector");
+  const pdn::PowerGrid grid(spec);
+  TransientOptions options;
+  options.dt = gen_params.dt;
+  TransientSimulator simulator(grid, options);
+
+  // A dedicated seed keeps calibration vectors disjoint from experiment
+  // vectors generated later from spec.seed.
+  vectors::TestVectorGenerator gen(grid, gen_params, spec.seed ^ 0xca11b7a7ull);
+
+  double mean_noise = 0.0;
+  for (int i = 0; i < num_vectors; ++i) {
+    const TransientResult r = simulator.simulate(gen.generate());
+    mean_noise += r.tile_worst_noise.mean();
+  }
+  mean_noise /= num_vectors;
+  PDN_CHECK(mean_noise > 0.0, "calibrate_design: zero measured noise");
+
+  pdn::DesignSpec calibrated = spec;
+  calibrated.unit_current *= spec.target_mean_noise / mean_noise;
+  return calibrated;
+}
+
+}  // namespace pdnn::sim

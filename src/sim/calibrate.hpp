@@ -1,0 +1,22 @@
+// Noise-level calibration for the synthetic designs.
+//
+// The PDN is a linear system, so worst-case noise scales exactly linearly
+// with the load currents. That lets us hit the Table-1 mean worst-case noise
+// targets precisely: simulate a few reference vectors at the spec's nominal
+// unit current, measure the mean tile worst-case noise, and rescale
+// unit_current by target/measured.
+#pragma once
+
+#include "pdn/design.hpp"
+#include "vectors/generator.hpp"
+
+namespace pdnn::sim {
+
+/// Returns a copy of `spec` with unit_current rescaled so that the mean
+/// (over `num_vectors` random vectors) of the mean tile worst-case noise
+/// equals spec.target_mean_noise. Deterministic for a given spec.
+pdn::DesignSpec calibrate_design(const pdn::DesignSpec& spec,
+                                 const vectors::VectorGenParams& gen_params,
+                                 int num_vectors = 8);
+
+}  // namespace pdnn::sim

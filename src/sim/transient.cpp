@@ -1,0 +1,182 @@
+#include "sim/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pdnn::sim {
+
+TransientSimulator::TransientSimulator(const pdn::PowerGrid& grid,
+                                       TransientOptions options)
+    : grid_(grid), options_(options) {
+  PDN_CHECK(options.dt > 0.0, "TransientSimulator: non-positive dt");
+  util::WallTimer timer;
+
+  const int n = grid.num_nodes();
+  const double dt = options.dt;
+
+  // Transient system matrix: G + diag(C/dt) + bump companion conductances.
+  std::vector<sparse::Triplet> extra;
+  const auto& cap = grid.node_capacitance();
+  for (int i = 0; i < n; ++i) {
+    if (cap[static_cast<std::size_t>(i)] > 0.0) {
+      extra.push_back({i, i, cap[static_cast<std::size_t>(i)] / dt});
+    }
+  }
+  bump_g_.clear();
+  bump_hist_.clear();
+  bump_g_dc_.clear();
+  for (const pdn::BumpBranch& b : grid.bumps()) {
+    const double g = 1.0 / (b.r + b.l / dt);
+    bump_g_.push_back(g);
+    bump_hist_.push_back(g * (b.l / dt));
+    bump_g_dc_.push_back(1.0 / b.r);
+    extra.push_back({b.node, b.node, g});
+  }
+
+  // Merge the constant-stamp triplets with the grid conductance pattern.
+  const sparse::CsrMatrix& g0 = grid.conductance();
+  std::vector<sparse::Triplet> all;
+  all.reserve(static_cast<std::size_t>(g0.nnz()) + extra.size());
+  for (int r = 0; r < n; ++r) {
+    for (std::int64_t p = g0.indptr()[r]; p < g0.indptr()[r + 1]; ++p) {
+      all.push_back({r, g0.indices()[static_cast<std::size_t>(p)],
+                     g0.values()[static_cast<std::size_t>(p)]});
+    }
+  }
+  std::vector<sparse::Triplet> dc = all;  // DC matrix shares the grid part
+  all.insert(all.end(), extra.begin(), extra.end());
+  for (std::size_t i = 0; i < grid.bumps().size(); ++i) {
+    dc.push_back({grid.bumps()[i].node, grid.bumps()[i].node, bump_g_dc_[i]});
+  }
+
+  solver_ = sparse::LinearSolver::create(options.solver);
+  solver_->prepare(sparse::CsrMatrix::from_triplets(n, all));
+  dc_solver_ = sparse::LinearSolver::create(options.solver);
+  dc_solver_->prepare(sparse::CsrMatrix::from_triplets(n, dc));
+
+  prepare_seconds_ = timer.seconds();
+}
+
+TransientResult TransientSimulator::simulate(const vectors::CurrentTrace& trace) {
+  const int n = grid_.num_nodes();
+  const double dt = options_.dt;
+  const double vdd = grid_.spec().vdd;
+  const auto& loads = grid_.load_nodes();
+  const auto& bumps = grid_.bumps();
+  const auto& cap = grid_.node_capacitance();
+  PDN_CHECK(trace.num_loads() == static_cast<int>(loads.size()),
+            "simulate: trace/load count mismatch");
+
+  util::WallTimer timer;
+
+  // Initial condition: DC operating point at the first sample (inductors
+  // shorted), so the run starts in steady state rather than with a spurious
+  // power-on transient.
+  std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
+  for (std::size_t i = 0; i < bumps.size(); ++i) {
+    rhs[static_cast<std::size_t>(bumps[i].node)] += bump_g_dc_[i] * vdd;
+  }
+  for (int j = 0; j < trace.num_loads(); ++j) {
+    rhs[static_cast<std::size_t>(loads[static_cast<std::size_t>(j)])] -=
+        trace.at(0, j);
+  }
+  std::vector<double> v(static_cast<std::size_t>(n), vdd);
+  dc_solver_->solve(rhs, v);
+
+  // Initial inductor currents from the DC point.
+  std::vector<double> bump_i(bumps.size());
+  for (std::size_t i = 0; i < bumps.size(); ++i) {
+    bump_i[i] =
+        bump_g_dc_[i] * (vdd - v[static_cast<std::size_t>(bumps[i].node)]);
+  }
+
+  std::vector<float> worst(static_cast<std::size_t>(n), 0.0f);
+  const auto record = [&](const std::vector<double>& volt) {
+    for (int i = 0; i < n; ++i) {
+      const float droop = static_cast<float>(vdd - volt[static_cast<std::size_t>(i)]);
+      worst[static_cast<std::size_t>(i)] =
+          std::max(worst[static_cast<std::size_t>(i)], droop);
+    }
+  };
+  record(v);
+
+  // Backward-Euler time stepping: same matrix, new right-hand side per step.
+  std::vector<double> v_next = v;
+  for (int k = 1; k < trace.num_steps(); ++k) {
+    for (int i = 0; i < n; ++i) {
+      rhs[static_cast<std::size_t>(i)] =
+          cap[static_cast<std::size_t>(i)] / dt * v[static_cast<std::size_t>(i)];
+    }
+    for (std::size_t i = 0; i < bumps.size(); ++i) {
+      rhs[static_cast<std::size_t>(bumps[i].node)] +=
+          bump_g_[i] * vdd + bump_hist_[i] * bump_i[i];
+    }
+    const float* step = trace.step_data(k);
+    for (int j = 0; j < trace.num_loads(); ++j) {
+      rhs[static_cast<std::size_t>(loads[static_cast<std::size_t>(j)])] -= step[j];
+    }
+    // v_next keeps the previous solution: warm start for iterative solvers.
+    solver_->solve(rhs, v_next);
+    // Inductor current update from the backward-Euler companion model:
+    // i_k = g * (Vdd - v_k) + g * (L/dt) * i_{k-1}.
+    for (std::size_t i = 0; i < bumps.size(); ++i) {
+      bump_i[i] =
+          bump_g_[i] * (vdd - v_next[static_cast<std::size_t>(bumps[i].node)]) +
+          bump_hist_[i] * bump_i[i];
+    }
+    v.swap(v_next);
+    record(v);
+  }
+
+  TransientResult result;
+  result.node_worst_noise = std::move(worst);
+  result.tile_worst_noise = tile_reduce(result.node_worst_noise);
+  result.solve_seconds = timer.seconds();
+  result.num_steps = trace.num_steps();
+  return result;
+}
+
+util::MapF TransientSimulator::static_ir_map(
+    const std::vector<double>& load_currents) {
+  const int n = grid_.num_nodes();
+  const double vdd = grid_.spec().vdd;
+  const auto& loads = grid_.load_nodes();
+  PDN_CHECK(load_currents.size() == loads.size(),
+            "static_ir_map: load count mismatch");
+
+  std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
+  const auto& bumps = grid_.bumps();
+  for (std::size_t i = 0; i < bumps.size(); ++i) {
+    rhs[static_cast<std::size_t>(bumps[i].node)] += bump_g_dc_[i] * vdd;
+  }
+  for (std::size_t j = 0; j < loads.size(); ++j) {
+    rhs[static_cast<std::size_t>(loads[j])] -= load_currents[j];
+  }
+  std::vector<double> v(static_cast<std::size_t>(n), vdd);
+  dc_solver_->solve(rhs, v);
+
+  std::vector<float> droop(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    droop[static_cast<std::size_t>(i)] =
+        static_cast<float>(vdd - v[static_cast<std::size_t>(i)]);
+  }
+  return tile_reduce(droop);
+}
+
+util::MapF TransientSimulator::tile_reduce(
+    const std::vector<float>& node_noise) const {
+  const auto& spec = grid_.spec();
+  util::MapF map(spec.tile_rows, spec.tile_cols, 0.0f);
+  for (int node = 0; node < grid_.num_bottom_nodes(); ++node) {
+    const int tr = grid_.tile_row_of(node);
+    const int tc = grid_.tile_col_of(node);
+    map(tr, tc) =
+        std::max(map(tr, tc), node_noise[static_cast<std::size_t>(node)]);
+  }
+  return map;
+}
+
+}  // namespace pdnn::sim

@@ -1,0 +1,69 @@
+// Golden dynamic PDN noise analysis — the stand-in for the commercial
+// sign-off tool.
+//
+// Exactly as the paper's §2 describes commercial engines: the dynamic
+// analysis is converted to a series of static solves where the system matrix
+// (G + C/dt + bump companion conductances, from backward-Euler companion
+// models) is fixed and only the right-hand side changes per time step. The
+// matrix is prepared once per design; each test vector then costs one solve
+// per time step. This engine produces the training labels and the "Commercial
+// (s)" runtime column of Table 2.
+#pragma once
+
+#include <vector>
+
+#include "pdn/power_grid.hpp"
+#include "sparse/solver.hpp"
+#include "util/grid2d.hpp"
+#include "vectors/current_trace.hpp"
+
+namespace pdnn::sim {
+
+struct TransientOptions {
+  double dt = 1e-12;  ///< integration step (paper: 1 ps)
+  sparse::SolverKind solver = sparse::SolverKind::kCholesky;
+};
+
+/// Output of one dynamic analysis run.
+struct TransientResult {
+  /// Worst-case noise per tile: max over the tile's bottom-layer nodes of
+  /// max over time of (Vdd - v). Volts. This is the ground-truth label.
+  util::MapF tile_worst_noise;
+
+  /// Worst-case noise per node (bottom + top), for diagnostics.
+  std::vector<float> node_worst_noise;
+
+  double solve_seconds = 0.0;  ///< time-stepping loop wall time (per vector)
+  int num_steps = 0;
+};
+
+/// Factor-once / solve-per-step transient engine.
+class TransientSimulator {
+ public:
+  TransientSimulator(const pdn::PowerGrid& grid, TransientOptions options);
+
+  /// Run dynamic analysis over a full current trace.
+  TransientResult simulate(const vectors::CurrentTrace& trace);
+
+  /// Static (DC) analysis: inductors shorted, capacitors open. Returns the
+  /// per-tile IR-drop map for the given per-load DC currents.
+  util::MapF static_ir_map(const std::vector<double>& load_currents);
+
+  double prepare_seconds() const { return prepare_seconds_; }
+  const pdn::PowerGrid& grid() const { return grid_; }
+  const TransientOptions& options() const { return options_; }
+
+ private:
+  util::MapF tile_reduce(const std::vector<float>& node_noise) const;
+
+  const pdn::PowerGrid& grid_;
+  TransientOptions options_;
+  std::unique_ptr<sparse::LinearSolver> solver_;     // transient matrix
+  std::unique_ptr<sparse::LinearSolver> dc_solver_;  // DC matrix (init + static)
+  std::vector<double> bump_g_;     ///< companion conductance per bump
+  std::vector<double> bump_hist_;  ///< g * (L/dt) factor per bump
+  std::vector<double> bump_g_dc_;  ///< DC conductance per bump (1/R)
+  double prepare_seconds_ = 0.0;
+};
+
+}  // namespace pdnn::sim

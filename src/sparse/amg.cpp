@@ -1,0 +1,177 @@
+#include "sparse/amg.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pdnn::sparse {
+
+std::pair<std::vector<int>, int> aggregate_nodes(const CsrMatrix& a,
+                                                 double strength_threshold) {
+  const int n = a.rows();
+  const std::vector<double> diag = a.diagonal();
+  std::vector<int> agg(static_cast<std::size_t>(n), -1);
+
+  const auto is_strong = [&](int i, std::int64_t p) {
+    const int j = a.indices()[static_cast<std::size_t>(p)];
+    if (j == i) return false;
+    const double v = std::abs(a.values()[static_cast<std::size_t>(p)]);
+    return v >= strength_threshold *
+                    std::sqrt(std::abs(diag[static_cast<std::size_t>(i)] *
+                                       diag[static_cast<std::size_t>(j)]));
+  };
+
+  // Pass 1: each unaggregated node whose strong neighborhood is fully
+  // unaggregated seeds a new aggregate containing that neighborhood.
+  int count = 0;
+  for (int i = 0; i < n; ++i) {
+    if (agg[static_cast<std::size_t>(i)] != -1) continue;
+    bool clean = true;
+    for (std::int64_t p = a.indptr()[i]; p < a.indptr()[i + 1] && clean; ++p) {
+      if (is_strong(i, p) &&
+          agg[static_cast<std::size_t>(
+              a.indices()[static_cast<std::size_t>(p)])] != -1) {
+        clean = false;
+      }
+    }
+    if (!clean) continue;
+    agg[static_cast<std::size_t>(i)] = count;
+    for (std::int64_t p = a.indptr()[i]; p < a.indptr()[i + 1]; ++p) {
+      if (is_strong(i, p)) {
+        agg[static_cast<std::size_t>(a.indices()[static_cast<std::size_t>(p)])] =
+            count;
+      }
+    }
+    ++count;
+  }
+
+  // Pass 2: attach leftovers to the aggregate of their strongest aggregated
+  // neighbor; isolated leftovers become singletons.
+  for (int i = 0; i < n; ++i) {
+    if (agg[static_cast<std::size_t>(i)] != -1) continue;
+    double best = -1.0;
+    int target = -1;
+    for (std::int64_t p = a.indptr()[i]; p < a.indptr()[i + 1]; ++p) {
+      const int j = a.indices()[static_cast<std::size_t>(p)];
+      if (j == i || agg[static_cast<std::size_t>(j)] == -1) continue;
+      const double v = std::abs(a.values()[static_cast<std::size_t>(p)]);
+      if (v > best) {
+        best = v;
+        target = agg[static_cast<std::size_t>(j)];
+      }
+    }
+    agg[static_cast<std::size_t>(i)] = target != -1 ? target : count++;
+  }
+  return {std::move(agg), count};
+}
+
+namespace {
+
+/// Galerkin coarse operator for piecewise-constant prolongation:
+/// A_c[I][J] = sum of a_ij over i in aggregate I, j in aggregate J.
+CsrMatrix coarse_operator(const CsrMatrix& a, const std::vector<int>& agg,
+                          int coarse_n) {
+  std::vector<Triplet> trips;
+  trips.reserve(static_cast<std::size_t>(a.nnz()));
+  for (int i = 0; i < a.rows(); ++i) {
+    const int ci = agg[static_cast<std::size_t>(i)];
+    for (std::int64_t p = a.indptr()[i]; p < a.indptr()[i + 1]; ++p) {
+      trips.push_back({ci,
+                       agg[static_cast<std::size_t>(
+                           a.indices()[static_cast<std::size_t>(p)])],
+                       a.values()[static_cast<std::size_t>(p)]});
+    }
+  }
+  return CsrMatrix::from_triplets(coarse_n, trips);
+}
+
+}  // namespace
+
+AmgHierarchy::AmgHierarchy(const CsrMatrix& a, AmgOptions options)
+    : options_(options) {
+  PDN_CHECK(a.rows() > 0, "AmgHierarchy: empty matrix");
+  matrices_.push_back(a);
+  while (static_cast<int>(matrices_.size()) < options_.max_levels &&
+         matrices_.back().rows() > options_.min_coarse_size) {
+    auto [agg, coarse_n] =
+        aggregate_nodes(matrices_.back(), options_.strength_threshold);
+    // Degenerate coarsening (e.g., fully connected): stop.
+    if (coarse_n >= matrices_.back().rows()) break;
+    aggregate_of_.push_back(std::move(agg));
+    matrices_.push_back(coarse_operator(matrices_.back(), aggregate_of_.back(),
+                                        coarse_n));
+  }
+  for (const CsrMatrix& m : matrices_) {
+    std::vector<double> inv = m.diagonal();
+    for (double& d : inv) {
+      PDN_CHECK(d > 0.0, "AmgHierarchy: non-positive diagonal on a level");
+      d = 1.0 / d;
+    }
+    inv_diag_.push_back(std::move(inv));
+  }
+  coarse_solver_.factor(matrices_.back());
+}
+
+void AmgHierarchy::smooth(int level, const std::vector<double>& b,
+                          std::vector<double>& x, int sweeps) const {
+  const CsrMatrix& a = matrices_[static_cast<std::size_t>(level)];
+  const auto& inv = inv_diag_[static_cast<std::size_t>(level)];
+  std::vector<double> ax;
+  for (int s = 0; s < sweeps; ++s) {
+    a.multiply(x, ax);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] += options_.jacobi_weight * inv[i] * (b[i] - ax[i]);
+    }
+  }
+}
+
+void AmgHierarchy::cycle(int level, const std::vector<double>& b,
+                         std::vector<double>& x) const {
+  if (level == levels() - 1) {
+    coarse_solver_.solve(b, x);
+    return;
+  }
+  const CsrMatrix& a = matrices_[static_cast<std::size_t>(level)];
+  const auto& agg = aggregate_of_[static_cast<std::size_t>(level)];
+
+  smooth(level, b, x, options_.pre_smooth);
+
+  // Restrict the residual: r_c[I] = sum over i in I of (b - A x)_i.
+  std::vector<double> ax;
+  a.multiply(x, ax);
+  std::vector<double> coarse_b(
+      static_cast<std::size_t>(matrices_[static_cast<std::size_t>(level) + 1].rows()),
+      0.0);
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    coarse_b[static_cast<std::size_t>(agg[i])] += b[i] - ax[i];
+  }
+
+  std::vector<double> coarse_x(coarse_b.size(), 0.0);
+  cycle(level + 1, coarse_b, coarse_x);
+
+  // Prolongate (piecewise constant) and correct.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] += coarse_x[static_cast<std::size_t>(agg[i])];
+  }
+
+  smooth(level, b, x, options_.post_smooth);
+}
+
+void AmgHierarchy::vcycle(const std::vector<double>& b,
+                          std::vector<double>& x) const {
+  PDN_CHECK(b.size() == static_cast<std::size_t>(matrices_.front().rows()),
+            "AmgHierarchy::vcycle: size mismatch");
+  x.resize(b.size(), 0.0);
+  cycle(0, b, x);
+}
+
+AmgPreconditioner::AmgPreconditioner(const CsrMatrix& a, AmgOptions options)
+    : hierarchy_(a, options) {}
+
+void AmgPreconditioner::apply(const std::vector<double>& r,
+                              std::vector<double>& z) const {
+  z.assign(r.size(), 0.0);
+  hierarchy_.vcycle(r, z);
+}
+
+}  // namespace pdnn::sparse

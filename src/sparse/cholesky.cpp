@@ -1,0 +1,116 @@
+#include "sparse/cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/ordering.hpp"
+#include "util/check.hpp"
+
+namespace pdnn::sparse {
+
+void BandCholesky::factor(const CsrMatrix& a, std::size_t max_band_bytes) {
+  const int n = a.rows();
+  PDN_CHECK(n > 0, "BandCholesky: empty matrix");
+
+  perm_ = reverse_cuthill_mckee(a);
+  inv_perm_.assign(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) inv_perm_[static_cast<std::size_t>(perm_[i])] = i;
+
+  const CsrMatrix p = a.permuted(perm_);
+  const int bw = bandwidth(p, [&] {
+    std::vector<int> identity(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) identity[static_cast<std::size_t>(i)] = i;
+    return identity;
+  }());
+
+  const std::size_t entries =
+      static_cast<std::size_t>(n) * (static_cast<std::size_t>(bw) + 1);
+  PDN_CHECK(entries * sizeof(double) <= max_band_bytes,
+            "BandCholesky: band storage exceeds memory budget");
+
+  n_ = n;
+  bw_ = bw;
+  band_.assign(entries, 0.0);
+  const std::size_t stride = static_cast<std::size_t>(bw_) + 1;
+
+  // Scatter the lower triangle of the permuted matrix into band storage.
+  const auto& indptr = p.indptr();
+  const auto& indices = p.indices();
+  const auto& values = p.values();
+  for (int r = 0; r < n; ++r) {
+    for (std::int64_t q = indptr[r]; q < indptr[r + 1]; ++q) {
+      const int c = indices[static_cast<std::size_t>(q)];
+      if (c <= r) {
+        band_[static_cast<std::size_t>(r) * stride +
+              static_cast<std::size_t>(c - r + bw_)] =
+            values[static_cast<std::size_t>(q)];
+      }
+    }
+  }
+
+  // In-place band Cholesky: row i, columns j in [i-bw, i].
+  for (int i = 0; i < n; ++i) {
+    double* row_i = band_.data() + static_cast<std::size_t>(i) * stride;
+    const int j_lo = std::max(0, i - bw_);
+    for (int j = j_lo; j <= i; ++j) {
+      const double* row_j = band_.data() + static_cast<std::size_t>(j) * stride;
+      // sum over k in [max(j_lo, j-bw), j): L(i,k) * L(j,k).
+      const int k_lo = std::max(j_lo, j - bw_);
+      double acc = row_i[j - i + bw_];
+      // Band offsets: L(i,k) at row_i[k - i + bw], L(j,k) at row_j[k - j + bw].
+      const double* pi = row_i + (k_lo - i + bw_);
+      const double* pj = row_j + (k_lo - j + bw_);
+      for (int k = k_lo; k < j; ++k) acc -= *pi++ * *pj++;
+      if (j < i) {
+        row_i[j - i + bw_] = acc / row_j[bw_];
+      } else {
+        PDN_CHECK(acc > 0.0, "BandCholesky: matrix is not positive definite");
+        row_i[bw_] = std::sqrt(acc);
+      }
+    }
+  }
+}
+
+void BandCholesky::solve(const std::vector<double>& b,
+                         std::vector<double>& x) const {
+  PDN_CHECK(factored(), "BandCholesky::solve before factor");
+  PDN_CHECK(static_cast<int>(b.size()) == n_, "BandCholesky::solve: size mismatch");
+  const std::size_t stride = static_cast<std::size_t>(bw_) + 1;
+
+  // Permute b into factor ordering.
+  std::vector<double> y(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    y[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(perm_[i])];
+  }
+
+  // Forward substitution: L z = y (in place).
+  for (int i = 0; i < n_; ++i) {
+    const double* row = band_.data() + static_cast<std::size_t>(i) * stride;
+    const int j_lo = std::max(0, i - bw_);
+    double acc = y[static_cast<std::size_t>(i)];
+    const double* pl = row + (j_lo - i + bw_);
+    for (int j = j_lo; j < i; ++j) acc -= *pl++ * y[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = acc / row[bw_];
+  }
+
+  // Backward substitution: L^T x = z (in place). Column-oriented: once x[i]
+  // is known, subtract L(i, j) * x[i] from all equations j < i in its band.
+  for (int i = n_ - 1; i >= 0; --i) {
+    const double* row = band_.data() + static_cast<std::size_t>(i) * stride;
+    const double xi = y[static_cast<std::size_t>(i)] / row[bw_];
+    y[static_cast<std::size_t>(i)] = xi;
+    const int j_lo = std::max(0, i - bw_);
+    const double* pl = row + (j_lo - i + bw_);
+    for (int j = j_lo; j < i; ++j) {
+      y[static_cast<std::size_t>(j)] -= *pl++ * xi;
+    }
+  }
+
+  // Un-permute.
+  x.assign(static_cast<std::size_t>(n_), 0.0);
+  for (int i = 0; i < n_; ++i) {
+    x[static_cast<std::size_t>(perm_[i])] = y[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace pdnn::sparse

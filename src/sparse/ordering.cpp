@@ -1,0 +1,85 @@
+#include "sparse/ordering.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace pdnn::sparse {
+
+std::vector<int> reverse_cuthill_mckee(const CsrMatrix& a) {
+  const int n = a.rows();
+  const auto& indptr = a.indptr();
+  const auto& indices = a.indices();
+
+  std::vector<int> degree(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    degree[static_cast<std::size_t>(i)] =
+        static_cast<int>(indptr[i + 1] - indptr[i]);
+  }
+
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<int> neighbors;
+
+  // Nodes sorted by degree: the classic CM heuristic starts each component
+  // at a peripheral (low-degree) node.
+  std::vector<int> by_degree(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) by_degree[static_cast<std::size_t>(i)] = i;
+  std::sort(by_degree.begin(), by_degree.end(), [&](int x, int y) {
+    return degree[static_cast<std::size_t>(x)] < degree[static_cast<std::size_t>(y)];
+  });
+
+  std::size_t seed_cursor = 0;
+  while (order.size() < static_cast<std::size_t>(n)) {
+    while (visited[static_cast<std::size_t>(by_degree[seed_cursor])]) ++seed_cursor;
+    const int start = by_degree[seed_cursor];
+
+    std::queue<int> frontier;
+    frontier.push(start);
+    visited[static_cast<std::size_t>(start)] = 1;
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      order.push_back(u);
+      neighbors.clear();
+      for (std::int64_t p = indptr[u]; p < indptr[u + 1]; ++p) {
+        const int v = indices[static_cast<std::size_t>(p)];
+        if (v != u && !visited[static_cast<std::size_t>(v)]) {
+          visited[static_cast<std::size_t>(v)] = 1;
+          neighbors.push_back(v);
+        }
+      }
+      std::sort(neighbors.begin(), neighbors.end(), [&](int x, int y) {
+        return degree[static_cast<std::size_t>(x)] <
+               degree[static_cast<std::size_t>(y)];
+      });
+      for (int v : neighbors) frontier.push(v);
+    }
+  }
+
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+int bandwidth(const CsrMatrix& a, const std::vector<int>& perm) {
+  const int n = a.rows();
+  PDN_CHECK(static_cast<int>(perm.size()) == n, "bandwidth: size mismatch");
+  std::vector<int> position(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) position[static_cast<std::size_t>(perm[i])] = i;
+
+  int bw = 0;
+  const auto& indptr = a.indptr();
+  const auto& indices = a.indices();
+  for (int r = 0; r < n; ++r) {
+    for (std::int64_t p = indptr[r]; p < indptr[r + 1]; ++p) {
+      const int c = indices[static_cast<std::size_t>(p)];
+      bw = std::max(bw, std::abs(position[static_cast<std::size_t>(r)] -
+                                 position[static_cast<std::size_t>(c)]));
+    }
+  }
+  return bw;
+}
+
+}  // namespace pdnn::sparse

@@ -1,0 +1,166 @@
+#include "sparse/pcg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pdnn::sparse {
+
+JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) {
+  inv_diag_ = a.diagonal();
+  for (double& d : inv_diag_) {
+    PDN_CHECK(d > 0.0, "Jacobi: non-positive diagonal");
+    d = 1.0 / d;
+  }
+}
+
+void JacobiPreconditioner::apply(const std::vector<double>& r,
+                                 std::vector<double>& z) const {
+  z.resize(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) z[i] = inv_diag_[i] * r[i];
+}
+
+Ic0Preconditioner::Ic0Preconditioner(const CsrMatrix& a) {
+  const CsrMatrix low = a.lower_triangle();
+  n_ = low.rows();
+  indptr_ = low.indptr();
+  indices_ = low.indices();
+  values_ = low.values();
+
+  // Row-based IC(0): for each row i and each stored (i, j) with j <= i,
+  //   L(i,j) = (A(i,j) - sum_k L(i,k) L(j,k)) / L(j,j),  k < j in pattern;
+  //   L(i,i) = sqrt(A(i,i) - sum_k L(i,k)^2).
+  // The inner sparse dot product intersects rows i and j (both sorted).
+  for (int i = 0; i < n_; ++i) {
+    for (std::int64_t p = indptr_[i]; p < indptr_[i + 1]; ++p) {
+      const int j = indices_[static_cast<std::size_t>(p)];
+      double acc = values_[static_cast<std::size_t>(p)];
+      // Intersect row i [indptr_[i], p) with row j [indptr_[j], diag of j).
+      std::int64_t pi = indptr_[i];
+      std::int64_t pj = indptr_[j];
+      const std::int64_t pj_end = indptr_[j + 1] - 1;  // exclude L(j,j)
+      while (pi < p && pj < pj_end) {
+        const int ci = indices_[static_cast<std::size_t>(pi)];
+        const int cj = indices_[static_cast<std::size_t>(pj)];
+        if (ci == cj) {
+          acc -= values_[static_cast<std::size_t>(pi)] *
+                 values_[static_cast<std::size_t>(pj)];
+          ++pi;
+          ++pj;
+        } else if (ci < cj) {
+          ++pi;
+        } else {
+          ++pj;
+        }
+      }
+      if (j < i) {
+        const double ljj = values_[static_cast<std::size_t>(indptr_[j + 1] - 1)];
+        values_[static_cast<std::size_t>(p)] = acc / ljj;
+      } else {
+        // Breakdown guard: IC(0) of an SPD matrix can still hit a
+        // non-positive pivot; clamp to a safe value (standard practice).
+        values_[static_cast<std::size_t>(p)] =
+            std::sqrt(std::max(acc, 1e-300));
+      }
+    }
+  }
+}
+
+void Ic0Preconditioner::apply(const std::vector<double>& r,
+                              std::vector<double>& z) const {
+  PDN_CHECK(static_cast<int>(r.size()) == n_, "Ic0: size mismatch");
+  z.assign(r.begin(), r.end());
+  // Forward: L y = r.
+  for (int i = 0; i < n_; ++i) {
+    double acc = z[static_cast<std::size_t>(i)];
+    const std::int64_t diag = indptr_[i + 1] - 1;
+    for (std::int64_t p = indptr_[i]; p < diag; ++p) {
+      acc -= values_[static_cast<std::size_t>(p)] *
+             z[static_cast<std::size_t>(indices_[static_cast<std::size_t>(p)])];
+    }
+    z[static_cast<std::size_t>(i)] = acc / values_[static_cast<std::size_t>(diag)];
+  }
+  // Backward: L^T z = y (column sweep).
+  for (int i = n_ - 1; i >= 0; --i) {
+    const std::int64_t diag = indptr_[i + 1] - 1;
+    const double zi =
+        z[static_cast<std::size_t>(i)] / values_[static_cast<std::size_t>(diag)];
+    z[static_cast<std::size_t>(i)] = zi;
+    for (std::int64_t p = indptr_[i]; p < diag; ++p) {
+      z[static_cast<std::size_t>(indices_[static_cast<std::size_t>(p)])] -=
+          values_[static_cast<std::size_t>(p)] * zi;
+    }
+  }
+}
+
+PcgStats pcg_solve(const CsrMatrix& a, const Preconditioner& m,
+                   const std::vector<double>& b, std::vector<double>& x,
+                   double tol, int max_iter) {
+  const int n = a.rows();
+  PDN_CHECK(static_cast<int>(b.size()) == n, "pcg: rhs size mismatch");
+  x.resize(static_cast<std::size_t>(n), 0.0);
+
+  std::vector<double> r(static_cast<std::size_t>(n));
+  std::vector<double> z, q;
+  a.multiply(x, r);
+  for (int i = 0; i < n; ++i) {
+    r[static_cast<std::size_t>(i)] =
+        b[static_cast<std::size_t>(i)] - r[static_cast<std::size_t>(i)];
+  }
+
+  auto norm2 = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double e : v) s += e * e;
+    return std::sqrt(s);
+  };
+  const double b_norm = std::max(norm2(b), 1e-300);
+
+  PcgStats stats;
+  stats.residual_norm = norm2(r);
+  if (stats.residual_norm / b_norm <= tol) {
+    stats.converged = true;
+    return stats;
+  }
+
+  m.apply(r, z);
+  std::vector<double> p = z;
+  double rz = 0.0;
+  for (int i = 0; i < n; ++i) {
+    rz += r[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+  }
+
+  for (int it = 0; it < max_iter; ++it) {
+    a.multiply(p, q);
+    double pq = 0.0;
+    for (int i = 0; i < n; ++i) {
+      pq += p[static_cast<std::size_t>(i)] * q[static_cast<std::size_t>(i)];
+    }
+    PDN_CHECK(pq > 0.0, "pcg: matrix not positive definite");
+    const double alpha = rz / pq;
+    for (int i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] += alpha * p[static_cast<std::size_t>(i)];
+      r[static_cast<std::size_t>(i)] -= alpha * q[static_cast<std::size_t>(i)];
+    }
+    stats.iterations = it + 1;
+    stats.residual_norm = norm2(r);
+    if (stats.residual_norm / b_norm <= tol) {
+      stats.converged = true;
+      return stats;
+    }
+    m.apply(r, z);
+    double rz_new = 0.0;
+    for (int i = 0; i < n; ++i) {
+      rz_new += r[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+    }
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (int i = 0; i < n; ++i) {
+      p[static_cast<std::size_t>(i)] =
+          z[static_cast<std::size_t>(i)] + beta * p[static_cast<std::size_t>(i)];
+    }
+  }
+  return stats;
+}
+
+}  // namespace pdnn::sparse

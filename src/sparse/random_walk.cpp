@@ -1,0 +1,88 @@
+#include "sparse/random_walk.hpp"
+
+#include "util/check.hpp"
+
+namespace pdnn::sparse {
+
+RandomWalkSolver::RandomWalkSolver(const CsrMatrix& a) {
+  n_ = a.rows();
+  PDN_CHECK(n_ > 0, "RandomWalkSolver: empty matrix");
+  indptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  inv_diag_.assign(static_cast<std::size_t>(n_), 0.0);
+  absorb_.assign(static_cast<std::size_t>(n_), 0.0);
+
+  bool any_ground = false;
+  for (int i = 0; i < n_; ++i) {
+    double diag = 0.0;
+    double off_sum = 0.0;
+    for (std::int64_t p = a.indptr()[i]; p < a.indptr()[i + 1]; ++p) {
+      const int j = a.indices()[static_cast<std::size_t>(p)];
+      const double v = a.values()[static_cast<std::size_t>(p)];
+      if (j == i) {
+        diag = v;
+      } else {
+        PDN_CHECK(v <= 0.0, "RandomWalkSolver: positive off-diagonal");
+        off_sum += -v;
+        neighbor_.push_back(j);
+        cumulative_.push_back(-v);  // raw weight; normalized below
+      }
+    }
+    PDN_CHECK(diag > 0.0, "RandomWalkSolver: non-positive diagonal");
+    PDN_CHECK(off_sum <= diag * (1.0 + 1e-12),
+              "RandomWalkSolver: matrix is not diagonally dominant");
+    inv_diag_[static_cast<std::size_t>(i)] = 1.0 / diag;
+    absorb_[static_cast<std::size_t>(i)] = (diag - off_sum) / diag;
+    if (absorb_[static_cast<std::size_t>(i)] > 1e-12) any_ground = true;
+
+    // Normalize this node's weights into a cumulative distribution over
+    // [0, 1 - absorb_i].
+    const std::size_t begin = static_cast<std::size_t>(indptr_[i]);
+    double acc = 0.0;
+    for (std::size_t p = begin; p < cumulative_.size(); ++p) {
+      acc += cumulative_[p] / diag;
+      cumulative_[p] = acc;
+    }
+    indptr_[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::int64_t>(neighbor_.size());
+  }
+  PDN_CHECK(any_ground,
+            "RandomWalkSolver: no grounded node; walks would never end");
+}
+
+double RandomWalkSolver::solve_node(const std::vector<double>& b, int node,
+                                    util::Rng& rng,
+                                    const RandomWalkOptions& options) const {
+  PDN_CHECK(static_cast<int>(b.size()) == n_, "solve_node: rhs size mismatch");
+  PDN_CHECK(node >= 0 && node < n_, "solve_node: node out of range");
+  PDN_CHECK(options.walks > 0, "solve_node: need at least one walk");
+
+  double total = 0.0;
+  for (int w = 0; w < options.walks; ++w) {
+    int cur = node;
+    double reward = 0.0;
+    for (int step = 0; step < options.max_steps; ++step) {
+      reward += b[static_cast<std::size_t>(cur)] *
+                inv_diag_[static_cast<std::size_t>(cur)];
+      const double u = rng.uniform();
+      // u in [1 - absorb, 1): absorbed (walked to ground, which is 0 V).
+      const std::size_t begin = static_cast<std::size_t>(indptr_[cur]);
+      const std::size_t end = static_cast<std::size_t>(indptr_[cur + 1]);
+      if (u >= (end > begin ? cumulative_[end - 1] : 0.0)) break;
+      // Binary search the cumulative transition table.
+      std::size_t lo = begin, hi = end - 1;
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (cumulative_[mid] > u) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      cur = neighbor_[lo];
+    }
+    total += reward;
+  }
+  return total / options.walks;
+}
+
+}  // namespace pdnn::sparse

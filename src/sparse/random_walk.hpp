@@ -1,0 +1,46 @@
+// Random-walk solver for diagonally dominant SPD systems (Qian, Nassif,
+// Sapatnekar, TCAD 2006 — reference [7] in the paper's background on classic
+// PDN analysis). Estimates single entries of G^{-1} b without factoring G:
+// a walk steps from node to node with probabilities proportional to the
+// off-diagonal conductances, collects b_k / G_kk at every visited node, and
+// terminates at "grounded" nodes (rows with diagonal excess). The estimate of
+// v_i is the mean reward over many walks from node i.
+//
+// Included as a historical baseline: the micro bench contrasts it with the
+// direct and iterative solvers that power the golden engine.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+
+namespace pdnn::sparse {
+
+struct RandomWalkOptions {
+  int walks = 2000;         ///< walks per queried node
+  int max_steps = 100000;   ///< safety cap per walk
+};
+
+/// Precomputed transition structure for a matrix.
+class RandomWalkSolver {
+ public:
+  /// The matrix must be symmetric, have positive diagonal, non-positive
+  /// off-diagonals, and at least some rows with diagonal excess (ground
+  /// connections) so walks terminate.
+  explicit RandomWalkSolver(const CsrMatrix& a);
+
+  /// Monte-Carlo estimate of x[node] where A x = b.
+  double solve_node(const std::vector<double>& b, int node, util::Rng& rng,
+                    const RandomWalkOptions& options = {}) const;
+
+ private:
+  int n_ = 0;
+  std::vector<std::int64_t> indptr_;
+  std::vector<int> neighbor_;        ///< flattened neighbor lists
+  std::vector<double> cumulative_;   ///< cumulative transition probabilities
+  std::vector<double> absorb_;       ///< absorption probability per node
+  std::vector<double> inv_diag_;
+};
+
+}  // namespace pdnn::sparse

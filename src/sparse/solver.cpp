@@ -1,0 +1,85 @@
+#include "sparse/solver.hpp"
+
+#include "sparse/amg.hpp"
+#include "sparse/cholesky.hpp"
+#include "sparse/pcg.hpp"
+#include "util/check.hpp"
+
+namespace pdnn::sparse {
+
+SolverKind solver_kind_from_string(const std::string& name) {
+  if (name == "cholesky") return SolverKind::kCholesky;
+  if (name == "pcg-jacobi") return SolverKind::kPcgJacobi;
+  if (name == "pcg-ic0") return SolverKind::kPcgIc0;
+  if (name == "pcg-amg") return SolverKind::kPcgAmg;
+  throw util::CheckError("unknown solver: " + name +
+                         " (expected cholesky|pcg-jacobi|pcg-ic0|pcg-amg)");
+}
+
+std::string to_string(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kCholesky:
+      return "cholesky";
+    case SolverKind::kPcgJacobi:
+      return "pcg-jacobi";
+    case SolverKind::kPcgIc0:
+      return "pcg-ic0";
+    case SolverKind::kPcgAmg:
+      return "pcg-amg";
+  }
+  return "?";
+}
+
+namespace {
+
+class CholeskySolver final : public LinearSolver {
+ public:
+  void prepare(const CsrMatrix& a) override { chol_.factor(a); }
+  void solve(const std::vector<double>& b, std::vector<double>& x) override {
+    chol_.solve(b, x);
+  }
+  std::string name() const override { return "cholesky"; }
+
+ private:
+  BandCholesky chol_;
+};
+
+template <typename Precond>
+class PcgSolverImpl final : public LinearSolver {
+ public:
+  explicit PcgSolverImpl(std::string name) : name_(std::move(name)) {}
+
+  void prepare(const CsrMatrix& a) override {
+    a_ = a;
+    precond_ = std::make_unique<Precond>(a_);
+  }
+  void solve(const std::vector<double>& b, std::vector<double>& x) override {
+    PDN_CHECK(precond_ != nullptr, "PcgSolver::solve before prepare");
+    const PcgStats stats = pcg_solve(a_, *precond_, b, x);
+    PDN_CHECK(stats.converged, "PCG failed to converge");
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  CsrMatrix a_;
+  std::unique_ptr<Precond> precond_;
+};
+
+}  // namespace
+
+std::unique_ptr<LinearSolver> LinearSolver::create(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kCholesky:
+      return std::make_unique<CholeskySolver>();
+    case SolverKind::kPcgJacobi:
+      return std::make_unique<PcgSolverImpl<JacobiPreconditioner>>("pcg-jacobi");
+    case SolverKind::kPcgIc0:
+      return std::make_unique<PcgSolverImpl<Ic0Preconditioner>>("pcg-ic0");
+    case SolverKind::kPcgAmg:
+      return std::make_unique<PcgSolverImpl<AmgPreconditioner>>("pcg-amg");
+  }
+  throw util::CheckError("unreachable solver kind");
+}
+
+}  // namespace pdnn::sparse

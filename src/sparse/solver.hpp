@@ -1,0 +1,42 @@
+// Uniform "factor once, solve many" interface over the direct and iterative
+// solvers, selected by the transient engine and the solver ablation bench.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pdnn::sparse {
+
+enum class SolverKind {
+  kCholesky,   // band Cholesky after RCM (default golden engine)
+  kPcgJacobi,  // CG with diagonal preconditioner
+  kPcgIc0,     // CG with zero-fill incomplete Cholesky
+  kPcgAmg,     // CG with an aggregation-AMG V-cycle preconditioner
+};
+
+/// Parse "cholesky" | "pcg-jacobi" | "pcg-ic0" | "pcg-amg".
+SolverKind solver_kind_from_string(const std::string& name);
+std::string to_string(SolverKind kind);
+
+/// Abstract SPD solver with an explicit preparation step.
+class LinearSolver {
+ public:
+  virtual ~LinearSolver() = default;
+
+  /// Prepare for repeated solves against this matrix (factor / build
+  /// preconditioner). Must be called before solve().
+  virtual void prepare(const CsrMatrix& a) = 0;
+
+  /// Solve A x = b. Iterative implementations warm-start from the value in x
+  /// (pass the previous time step's solution); direct ones overwrite it.
+  virtual void solve(const std::vector<double>& b, std::vector<double>& x) = 0;
+
+  virtual std::string name() const = 0;
+
+  static std::unique_ptr<LinearSolver> create(SolverKind kind);
+};
+
+}  // namespace pdnn::sparse

@@ -1,0 +1,42 @@
+// Runtime precondition checking.
+//
+// PDN_CHECK is used at public API boundaries and for invariants that depend
+// on user-provided data (file contents, CLI arguments, design specs). It is
+// always active, including in release builds: a violated precondition throws
+// pdnn::util::CheckError with the failing expression and a caller-provided
+// message. Internal hot-loop assumptions use assert() instead.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pdnn::util {
+
+/// Exception thrown by PDN_CHECK on a violated precondition.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace pdnn::util
+
+/// Verify a precondition; throws pdnn::util::CheckError when it fails.
+/// Usage: PDN_CHECK(n > 0, "matrix dimension must be positive");
+#define PDN_CHECK(expr, ...)                                             \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::pdnn::util::detail::check_failed(#expr, __FILE__, __LINE__,      \
+                                         ::std::string(__VA_ARGS__));    \
+    }                                                                    \
+  } while (false)

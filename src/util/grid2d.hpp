@@ -1,0 +1,79 @@
+// A minimal dense 2-D array used for tile maps throughout the repository:
+// per-tile current maps, distance maps, worst-case noise maps, error maps.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pdnn::util {
+
+/// Row-major 2-D grid of values. Rows index the y (vertical) direction to
+/// match the (m x n) tile-array convention of the paper: a map is m rows by
+/// n columns.
+template <typename T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(int rows, int cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, fill) {
+    PDN_CHECK(rows >= 0 && cols >= 0, "Grid2D: negative dimension");
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& at(int r, int c) {
+    PDN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "Grid2D: out of range");
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  const T& at(int r, int c) const {
+    PDN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "Grid2D: out of range");
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  /// Unchecked access for hot loops.
+  T& operator()(int r, int c) { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+  const T& operator()(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::vector<T>& storage() { return data_; }
+  const std::vector<T>& storage() const { return data_; }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  T max_value() const {
+    PDN_CHECK(!data_.empty(), "Grid2D::max_value on empty grid");
+    return *std::max_element(data_.begin(), data_.end());
+  }
+  T min_value() const {
+    PDN_CHECK(!data_.empty(), "Grid2D::min_value on empty grid");
+    return *std::min_element(data_.begin(), data_.end());
+  }
+  double sum() const {
+    double s = 0.0;
+    for (const T& v : data_) s += static_cast<double>(v);
+    return s;
+  }
+  double mean() const { return data_.empty() ? 0.0 : sum() / static_cast<double>(size()); }
+
+  bool same_shape(const Grid2D& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MapF = Grid2D<float>;
+using MapD = Grid2D<double>;
+
+}  // namespace pdnn::util

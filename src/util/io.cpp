@@ -1,0 +1,86 @@
+#include "util/io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pdnn::util {
+
+namespace {
+
+/// Resolve the (lo, hi) display window, auto-scaling when lo >= hi.
+std::pair<float, float> display_window(const MapF& map, float lo, float hi) {
+  if (lo >= hi) {
+    lo = map.min_value();
+    hi = map.max_value();
+    if (hi <= lo) hi = lo + 1.0f;  // constant map: avoid division by zero
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+void write_csv(const MapF& map, const std::string& path) {
+  std::ofstream out(path);
+  PDN_CHECK(out.good(), "cannot open for writing: " + path);
+  for (int r = 0; r < map.rows(); ++r) {
+    for (int c = 0; c < map.cols(); ++c) {
+      if (c) out << ',';
+      out << map(r, c);
+    }
+    out << '\n';
+  }
+}
+
+void write_pgm(const MapF& map, const std::string& path, float lo, float hi) {
+  PDN_CHECK(!map.empty(), "write_pgm: empty map");
+  const auto [wlo, whi] = display_window(map, lo, hi);
+  std::ofstream out(path, std::ios::binary);
+  PDN_CHECK(out.good(), "cannot open for writing: " + path);
+  out << "P5\n" << map.cols() << ' ' << map.rows() << "\n255\n";
+  const float scale = 255.0f / (whi - wlo);
+  for (int r = 0; r < map.rows(); ++r) {
+    for (int c = 0; c < map.cols(); ++c) {
+      const float v = std::clamp((map(r, c) - wlo) * scale, 0.0f, 255.0f);
+      const auto byte = static_cast<std::uint8_t>(v);
+      out.write(reinterpret_cast<const char*>(&byte), 1);
+    }
+  }
+}
+
+std::string ascii_heatmap(const MapF& map, int max_cols, float lo, float hi) {
+  PDN_CHECK(!map.empty(), "ascii_heatmap: empty map");
+  PDN_CHECK(max_cols > 0, "ascii_heatmap: max_cols must be positive");
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  static constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 2;
+  const auto [wlo, whi] = display_window(map, lo, hi);
+  // Characters are roughly twice as tall as wide; step rows twice as fast.
+  const int step_c = std::max(1, (map.cols() + max_cols - 1) / max_cols);
+  const int step_r = 2 * step_c;
+  std::ostringstream os;
+  for (int r = 0; r < map.rows(); r += step_r) {
+    for (int c = 0; c < map.cols(); c += step_c) {
+      // Cell value = max over the downsampling window (hotspots must survive).
+      float v = map(r, c);
+      for (int rr = r; rr < std::min(map.rows(), r + step_r); ++rr)
+        for (int cc = c; cc < std::min(map.cols(), c + step_c); ++cc)
+          v = std::max(v, map(rr, cc));
+      const float t = std::clamp((v - wlo) / (whi - wlo), 0.0f, 1.0f);
+      os << kRamp[static_cast<int>(t * kLevels + 0.5f)];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void ensure_directory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  PDN_CHECK(!ec, "cannot create directory: " + path);
+}
+
+}  // namespace pdnn::util

@@ -1,0 +1,28 @@
+// Map export: CSV for post-processing, PGM for grayscale heatmap images
+// (Figs. 4 and 5), and a coarse ASCII rendering for terminal inspection.
+#pragma once
+
+#include <string>
+
+#include "util/grid2d.hpp"
+
+namespace pdnn::util {
+
+/// Write a float map as CSV (one row per grid row).
+void write_csv(const MapF& map, const std::string& path);
+
+/// Write a float map as a binary 8-bit PGM image, linearly scaled between
+/// lo and hi (values are clamped). Pass lo >= hi to auto-scale to the map's
+/// own min/max.
+void write_pgm(const MapF& map, const std::string& path, float lo = 0.0f,
+               float hi = -1.0f);
+
+/// Render a map as ASCII art (downsampled to at most max_cols columns),
+/// using a luminance ramp; useful for eyeballing noise maps in a terminal.
+std::string ascii_heatmap(const MapF& map, int max_cols = 64, float lo = 0.0f,
+                          float hi = -1.0f);
+
+/// Create a directory (and parents) if it does not exist.
+void ensure_directory(const std::string& path);
+
+}  // namespace pdnn::util

@@ -1,0 +1,62 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace pdnn::util {
+
+std::uint64_t Rng::next_u64() {
+  // SplitMix64 (public domain, Sebastiano Vigna's reference constants).
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() {
+  // 53 high-quality bits -> [0, 1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  PDN_CHECK(lo <= hi, "uniform: empty interval");
+  return lo + (hi - lo) * uniform();
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  PDN_CHECK(lo <= hi, "uniform_int: empty interval");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi) - lo + 1;
+  // Modulo bias is < 2^-44 for any span that fits in int; acceptable here.
+  return lo + static_cast<int>(next_u64() % span);
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 is kept away from zero to avoid log(0).
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double ang = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = mag * std::sin(ang);
+  have_cached_normal_ = true;
+  return mag * std::cos(ang);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+Rng Rng::split() {
+  // Mixing the parent stream through one extra step decorrelates children.
+  return Rng(next_u64() ^ 0xd1b54a32d192ed03ull);
+}
+
+}  // namespace pdnn::util

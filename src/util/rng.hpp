@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the repository (test-vector synthesis, weight
+// initialization, dataset shuffling, design perturbations) draw from this
+// generator so that every experiment is reproducible from a single seed and
+// independent of the standard library's unspecified distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pdnn::util {
+
+/// SplitMix64-based generator with explicit, portable distributions.
+///
+/// The raw stream is Steele et al.'s SplitMix64, which passes BigCrush and is
+/// trivially seedable. Distribution code (uniform/normal/…) is implemented
+/// here rather than via <random> so results are bit-identical across standard
+/// libraries.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit word of the SplitMix64 stream.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal via Box-Muller (uses an internal cache for the pair).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<int>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-sample streams).
+  Rng split();
+
+ private:
+  std::uint64_t state_;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace pdnn::util

@@ -1,0 +1,28 @@
+// Wall-clock timing used for the paper's runtime comparisons (Table 2/3,
+// Fig. 6b). All reported runtimes in this repository come from this timer.
+#pragma once
+
+#include <chrono>
+
+namespace pdnn::util {
+
+/// Simple monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pdnn::util

@@ -1,0 +1,27 @@
+#include "vectors/current_trace.hpp"
+
+#include "util/check.hpp"
+
+namespace pdnn::vectors {
+
+CurrentTrace::CurrentTrace(int num_steps, int num_loads, double dt)
+    : num_steps_(num_steps),
+      num_loads_(num_loads),
+      dt_(dt),
+      data_(static_cast<std::size_t>(num_steps) * num_loads, 0.0f) {
+  PDN_CHECK(num_steps > 0 && num_loads > 0, "CurrentTrace: empty dimensions");
+  PDN_CHECK(dt > 0.0, "CurrentTrace: non-positive dt");
+}
+
+double CurrentTrace::total_at(int step) const {
+  const float* row = step_data(step);
+  double s = 0.0;
+  for (int j = 0; j < num_loads_; ++j) s += row[j];
+  return s;
+}
+
+void CurrentTrace::scale(double s) {
+  for (float& v : data_) v = static_cast<float>(v * s);
+}
+
+}  // namespace pdnn::vectors

@@ -1,0 +1,48 @@
+// A test vector: the per-load switching current waveform fed both to the
+// golden transient simulator and (after spatial/temporal compression) to the
+// prediction framework.
+#pragma once
+
+#include <vector>
+
+namespace pdnn::vectors {
+
+/// Dense (steps x loads) current trace. Column j follows the j-th entry of
+/// PowerGrid::load_nodes(). Values are in amperes; currents are draws
+/// (positive = instance pulling current out of the grid).
+class CurrentTrace {
+ public:
+  CurrentTrace() = default;
+  CurrentTrace(int num_steps, int num_loads, double dt);
+
+  int num_steps() const { return num_steps_; }
+  int num_loads() const { return num_loads_; }
+  double dt() const { return dt_; }
+
+  float& at(int step, int load) {
+    return data_[static_cast<std::size_t>(step) * num_loads_ + load];
+  }
+  float at(int step, int load) const {
+    return data_[static_cast<std::size_t>(step) * num_loads_ + load];
+  }
+
+  /// Pointer to the per-load currents of one time step.
+  const float* step_data(int step) const {
+    return data_.data() + static_cast<std::size_t>(step) * num_loads_;
+  }
+
+  /// Total drawn current at a time step (amperes) — the S[k] of Algorithm 1
+  /// before tile aggregation.
+  double total_at(int step) const;
+
+  /// Multiply every sample by s (used by the linear noise calibration).
+  void scale(double s);
+
+ private:
+  int num_steps_ = 0;
+  int num_loads_ = 0;
+  double dt_ = 1e-12;
+  std::vector<float> data_;
+};
+
+}  // namespace pdnn::vectors

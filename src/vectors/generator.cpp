@@ -1,0 +1,87 @@
+#include "vectors/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace pdnn::vectors {
+
+TestVectorGenerator::TestVectorGenerator(const pdn::PowerGrid& grid,
+                                         VectorGenParams params,
+                                         std::uint64_t seed)
+    : grid_(grid), params_(params), rng_(seed) {
+  PDN_CHECK(params.num_steps > 1, "VectorGen: need at least 2 steps");
+  PDN_CHECK(params.min_bursts >= 1 && params.max_bursts >= params.min_bursts,
+            "VectorGen: bad burst counts");
+}
+
+CurrentTrace TestVectorGenerator::generate() {
+  util::Rng rng = rng_.split();  // independent per-vector stream
+  const auto& loads = grid_.load_nodes();
+  const int num_loads = static_cast<int>(loads.size());
+  const int steps = params_.num_steps;
+  const double unit = grid_.spec().unit_current;
+
+  CurrentTrace trace(steps, num_loads, params_.dt);
+
+  // 1) Steady baseline per load (leakage + background activity), with a slow
+  //    global modulation so "steady" segments still differ slightly.
+  std::vector<float> base(static_cast<std::size_t>(num_loads));
+  for (int j = 0; j < num_loads; ++j) {
+    base[static_cast<std::size_t>(j)] = static_cast<float>(
+        unit * rng.uniform(params_.base_low, params_.base_high));
+  }
+  const double drift_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  for (int k = 0; k < steps; ++k) {
+    const double drift =
+        1.0 + 0.05 * std::sin(drift_phase + 2.0 * std::numbers::pi * k / steps);
+    for (int j = 0; j < num_loads; ++j) {
+      trace.at(k, j) = static_cast<float>(base[static_cast<std::size_t>(j)] * drift);
+    }
+  }
+
+  // 2) Burst windows: a spatial region of loads toggles hard for a while.
+  const int bursts = rng.uniform_int(params_.min_bursts, params_.max_bursts);
+  for (int b = 0; b < bursts; ++b) {
+    // Temporal extent.
+    const int width = std::max(
+        4, static_cast<int>(steps *
+                            rng.uniform(params_.width_low, params_.width_high)));
+    const int start = rng.uniform_int(0, std::max(0, steps - width - 1));
+    const int period =
+        rng.uniform_int(params_.toggle_period_min, params_.toggle_period_max);
+
+    // Spatial extent: loads within a random radius of a random active load.
+    const int anchor_idx = rng.uniform_int(0, num_loads - 1);
+    const double ar = grid_.node_row(loads[static_cast<std::size_t>(anchor_idx)]);
+    const double ac = grid_.node_col(loads[static_cast<std::size_t>(anchor_idx)]);
+    const double radius =
+        rng.uniform(0.08, 0.25) *
+        std::max(grid_.bottom_rows(), grid_.bottom_cols());
+
+    const double amp = unit * rng.uniform(params_.burst_low, params_.burst_high);
+    for (int j = 0; j < num_loads; ++j) {
+      const double dr = grid_.node_row(loads[static_cast<std::size_t>(j)]) - ar;
+      const double dc = grid_.node_col(loads[static_cast<std::size_t>(j)]) - ac;
+      if (dr * dr + dc * dc > radius * radius) continue;
+      if (!rng.bernoulli(params_.participation)) continue;
+      const double load_amp = amp * rng.uniform(0.5, 1.5);
+      const int phase = rng.uniform_int(0, period - 1);
+      for (int k = start; k < std::min(steps, start + width); ++k) {
+        // Raised-cosine envelope x pulse train: switching current bursts.
+        const double t = static_cast<double>(k - start) / width;
+        const double envelope = 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * t));
+        const bool on = ((k + phase) % period) < (period + 1) / 2;
+        if (on) {
+          trace.at(k, j) += static_cast<float>(load_amp * envelope);
+        }
+      }
+    }
+  }
+
+  return trace;
+}
+
+}  // namespace pdnn::vectors

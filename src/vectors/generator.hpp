@@ -1,0 +1,56 @@
+// Random test-vector synthesis.
+//
+// The paper trains and evaluates on "randomly generated groups of test
+// vectors". This generator produces switching-current waveforms with the
+// temporal structure real workloads have — long quiet/steady phases
+// punctuated by bursts of toggling activity that is spatially correlated
+// (instances near each other switch together). That structure is what makes
+// both the worst-case noise spatially localized (hotspots) and Algorithm 1's
+// temporal compression effective (steady segments carry no worst-case
+// information).
+#pragma once
+
+#include <cstdint>
+
+#include "pdn/power_grid.hpp"
+#include "util/rng.hpp"
+#include "vectors/current_trace.hpp"
+
+namespace pdnn::vectors {
+
+/// Knobs for the waveform synthesizer.
+struct VectorGenParams {
+  int num_steps = 80;       ///< trace length in time steps
+  double dt = 1e-12;        ///< paper's experimental setup: 1 ps
+  int min_bursts = 1;       ///< activity windows per vector
+  int max_bursts = 3;
+  double base_low = 0.4;    ///< steady draw, fraction of unit_current
+  double base_high = 0.7;
+  double burst_low = 0.3;   ///< burst amplitude, fraction of unit_current
+  double burst_high = 0.8;
+  double width_low = 0.25;  ///< burst width, fraction of the trace length:
+  double width_high = 0.5;  ///< several resonance periods, so the worst-case
+                            ///< droop is set by amplitude, not phase alignment
+  int toggle_period_min = 2;  ///< pulse-train period inside a burst (steps)
+  int toggle_period_max = 8;
+  double participation = 0.9;  ///< fraction of a burst region's loads that toggle
+};
+
+/// Generates independent random test vectors for one design.
+class TestVectorGenerator {
+ public:
+  TestVectorGenerator(const pdn::PowerGrid& grid, VectorGenParams params,
+                      std::uint64_t seed);
+
+  /// One new random vector; each call advances the stream deterministically.
+  CurrentTrace generate();
+
+  const VectorGenParams& params() const { return params_; }
+
+ private:
+  const pdn::PowerGrid& grid_;
+  VectorGenParams params_;
+  util::Rng rng_;
+};
+
+}  // namespace pdnn::vectors

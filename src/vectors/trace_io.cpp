@@ -1,0 +1,67 @@
+#include "vectors/trace_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace pdnn::vectors {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'D', 'N', 'T'};
+}
+
+void save_trace(const CurrentTrace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  PDN_CHECK(out.good(), "save_trace: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::int32_t steps = trace.num_steps();
+  const std::int32_t loads = trace.num_loads();
+  const double dt = trace.dt();
+  out.write(reinterpret_cast<const char*>(&steps), sizeof(steps));
+  out.write(reinterpret_cast<const char*>(&loads), sizeof(loads));
+  out.write(reinterpret_cast<const char*>(&dt), sizeof(dt));
+  for (int k = 0; k < steps; ++k) {
+    out.write(reinterpret_cast<const char*>(trace.step_data(k)),
+              static_cast<std::streamsize>(sizeof(float) * loads));
+  }
+  PDN_CHECK(out.good(), "save_trace: write failed for " + path);
+}
+
+CurrentTrace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PDN_CHECK(in.good(), "load_trace: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  PDN_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
+            "load_trace: bad magic in " + path);
+  std::int32_t steps = 0, loads = 0;
+  double dt = 0.0;
+  in.read(reinterpret_cast<char*>(&steps), sizeof(steps));
+  in.read(reinterpret_cast<char*>(&loads), sizeof(loads));
+  in.read(reinterpret_cast<char*>(&dt), sizeof(dt));
+  PDN_CHECK(in.good() && steps > 0 && loads > 0 && dt > 0.0,
+            "load_trace: malformed header in " + path);
+  CurrentTrace trace(steps, loads, dt);
+  for (int k = 0; k < steps; ++k) {
+    in.read(reinterpret_cast<char*>(&trace.at(k, 0)),
+            static_cast<std::streamsize>(sizeof(float) * loads));
+  }
+  PDN_CHECK(in.good(), "load_trace: truncated file " + path);
+  return trace;
+}
+
+void export_trace_csv(const CurrentTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  PDN_CHECK(out.good(), "export_trace_csv: cannot open " + path);
+  for (int k = 0; k < trace.num_steps(); ++k) {
+    const float* row = trace.step_data(k);
+    for (int j = 0; j < trace.num_loads(); ++j) {
+      if (j) out << ',';
+      out << row[j];
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace pdnn::vectors

@@ -1,0 +1,24 @@
+// CurrentTrace (de)serialization.
+//
+// Binary format for exchanging test vectors between tools (e.g., generate a
+// sign-off vector set once, replay it against both the golden engine and the
+// trained model): magic "PDNT", int32 steps, int32 loads, float64 dt,
+// float32 data in step-major order. A CSV export is provided for inspection.
+#pragma once
+
+#include <string>
+
+#include "vectors/current_trace.hpp"
+
+namespace pdnn::vectors {
+
+/// Write a trace to a binary file.
+void save_trace(const CurrentTrace& trace, const std::string& path);
+
+/// Read a trace back. Throws CheckError on a malformed file.
+CurrentTrace load_trace(const std::string& path);
+
+/// Write as CSV: one row per time step, one column per load.
+void export_trace_csv(const CurrentTrace& trace, const std::string& path);
+
+}  // namespace pdnn::vectors

@@ -1,0 +1,54 @@
+// Shared finite-difference gradient checker for the autograd tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/autograd.hpp"
+
+namespace pdnn::testutil {
+
+/// Verify autograd gradients of a scalar-valued function against central
+/// finite differences, for every element of every input tensor.
+///
+/// `fn` must build the graph from the given leaf Vars and return the scalar
+/// output. Inputs are marked requires_grad by the checker.
+inline void expect_gradients_match(
+    const std::function<nn::Var(std::vector<nn::Var>&)>& fn,
+    std::vector<nn::Tensor> inputs, float eps = 1e-2f, float tol = 2e-2f) {
+  // Analytic gradients.
+  std::vector<nn::Var> vars;
+  vars.reserve(inputs.size());
+  for (nn::Tensor& t : inputs) vars.emplace_back(t.clone(), /*requires_grad=*/true);
+  nn::Var out = fn(vars);
+  ASSERT_EQ(out.value().numel(), 1) << "gradcheck needs a scalar output";
+  out.backward();
+
+  // Numeric gradients, one element at a time.
+  for (std::size_t vi = 0; vi < inputs.size(); ++vi) {
+    const nn::Tensor& analytic = vars[vi].node()->grad;
+    ASSERT_TRUE(analytic.defined()) << "input " << vi << " received no grad";
+    const std::int64_t n = inputs[vi].numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      auto eval_at = [&](float delta) {
+        std::vector<nn::Var> probe;
+        probe.reserve(inputs.size());
+        for (std::size_t vj = 0; vj < inputs.size(); ++vj) {
+          nn::Tensor t = inputs[vj].clone();
+          if (vj == vi) t.data()[i] += delta;
+          probe.emplace_back(std::move(t), false);
+        }
+        return fn(probe).value().item();
+      };
+      const float numeric = (eval_at(eps) - eval_at(-eps)) / (2.0f * eps);
+      const float got = analytic.data()[i];
+      const float scale = std::max({1.0f, std::abs(numeric), std::abs(got)});
+      EXPECT_NEAR(got, numeric, tol * scale)
+          << "input " << vi << " element " << i;
+    }
+  }
+}
+
+}  // namespace pdnn::testutil

@@ -1,0 +1,147 @@
+// Tests for the aggregation-based algebraic multigrid solver: aggregation
+// validity, V-cycle contraction, preconditioner effectiveness, and factory
+// integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "sparse/amg.hpp"
+#include "sparse/cholesky.hpp"
+#include "sparse/solver.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pdnn {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::Triplet;
+
+CsrMatrix grid_laplacian(int rows, int cols, double shift) {
+  std::vector<Triplet> t;
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      t.push_back({id(r, c), id(r, c), shift});
+      const auto stamp = [&](int a, int b) {
+        t.push_back({a, a, 1.0});
+        t.push_back({b, b, 1.0});
+        t.push_back({a, b, -1.0});
+        t.push_back({b, a, -1.0});
+      };
+      if (c + 1 < cols) stamp(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) stamp(id(r, c), id(r + 1, c));
+    }
+  }
+  return CsrMatrix::from_triplets(rows * cols, t);
+}
+
+std::vector<double> random_vector(int n, util::Rng& rng) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (double& x : v) x = rng.normal();
+  return v;
+}
+
+double residual_norm(const CsrMatrix& a, const std::vector<double>& x,
+                     const std::vector<double>& b) {
+  std::vector<double> ax;
+  a.multiply(x, ax);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    acc += (ax[i] - b[i]) * (ax[i] - b[i]);
+  }
+  return std::sqrt(acc);
+}
+
+TEST(Aggregation, CoversEveryNodeExactlyOnce) {
+  const CsrMatrix a = grid_laplacian(12, 12, 0.1);
+  const auto [agg, count] = sparse::aggregate_nodes(a, 0.08);
+  EXPECT_GT(count, 0);
+  EXPECT_LT(count, a.rows());
+  std::vector<int> seen(static_cast<std::size_t>(count), 0);
+  for (int id : agg) {
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, count);
+    ++seen[static_cast<std::size_t>(id)];
+  }
+  for (int c : seen) EXPECT_GE(c, 1);  // no empty aggregates
+}
+
+TEST(Aggregation, CoarsensSubstantially) {
+  const CsrMatrix a = grid_laplacian(20, 20, 0.1);
+  const auto [agg, count] = sparse::aggregate_nodes(a, 0.08);
+  (void)agg;
+  // Strong 5-point stencil aggregation shrinks by ~3-5x.
+  EXPECT_LT(count, a.rows() / 2);
+}
+
+TEST(AmgHierarchy, BuildsMultipleLevels) {
+  const CsrMatrix a = grid_laplacian(32, 32, 0.2);
+  const sparse::AmgHierarchy amg(a);
+  EXPECT_GE(amg.levels(), 3);
+  // Strictly decreasing level sizes.
+  for (int l = 1; l < amg.levels(); ++l) {
+    EXPECT_LT(amg.level_size(l), amg.level_size(l - 1));
+  }
+  EXPECT_LE(amg.coarse_size(), 64 * 4);  // coarsening reached the threshold zone
+}
+
+TEST(AmgHierarchy, VcycleContractsResidual) {
+  const CsrMatrix a = grid_laplacian(24, 24, 0.2);
+  const sparse::AmgHierarchy amg(a);
+  util::Rng rng(3);
+  const auto b = random_vector(a.rows(), rng);
+  std::vector<double> x(static_cast<std::size_t>(a.rows()), 0.0);
+  const double r0 = residual_norm(a, x, b);
+  amg.vcycle(b, x);
+  const double r1 = residual_norm(a, x, b);
+  amg.vcycle(b, x);
+  const double r2 = residual_norm(a, x, b);
+  EXPECT_LT(r1, 0.5 * r0);
+  EXPECT_LT(r2, r1);
+}
+
+TEST(AmgHierarchy, SmallMatrixFallsBackToDirect) {
+  const CsrMatrix a = grid_laplacian(4, 4, 0.5);
+  const sparse::AmgHierarchy amg(a);
+  EXPECT_EQ(amg.levels(), 1);  // below min coarse size: direct solve only
+  util::Rng rng(4);
+  const auto b = random_vector(16, rng);
+  std::vector<double> x(16, 0.0);
+  amg.vcycle(b, x);
+  EXPECT_LT(residual_norm(a, x, b), 1e-8);
+}
+
+TEST(AmgPreconditioner, BeatsJacobiIterationCount) {
+  const CsrMatrix a = grid_laplacian(40, 40, 0.05);
+  util::Rng rng(5);
+  const auto b = random_vector(a.rows(), rng);
+
+  sparse::JacobiPreconditioner jacobi(a);
+  sparse::AmgPreconditioner amg(a);
+  std::vector<double> xj(static_cast<std::size_t>(a.rows()), 0.0);
+  std::vector<double> xa = xj;
+  const auto sj = sparse::pcg_solve(a, jacobi, b, xj, 1e-10, 4000);
+  const auto sa = sparse::pcg_solve(a, amg, b, xa, 1e-10, 4000);
+  ASSERT_TRUE(sj.converged);
+  ASSERT_TRUE(sa.converged);
+  EXPECT_LT(sa.iterations, sj.iterations / 3);
+}
+
+TEST(AmgPreconditioner, SolverFactoryRoundTrip) {
+  EXPECT_EQ(sparse::solver_kind_from_string("pcg-amg"),
+            sparse::SolverKind::kPcgAmg);
+  EXPECT_EQ(sparse::to_string(sparse::SolverKind::kPcgAmg), "pcg-amg");
+  auto solver = sparse::LinearSolver::create(sparse::SolverKind::kPcgAmg);
+  const CsrMatrix a = grid_laplacian(10, 10, 0.3);
+  util::Rng rng(6);
+  const auto b = random_vector(a.rows(), rng);
+  solver->prepare(a);
+  std::vector<double> x(static_cast<std::size_t>(a.rows()), 0.0);
+  solver->solve(b, x);
+  EXPECT_LT(residual_norm(a, x, b), 1e-6);
+}
+
+}  // namespace
+}  // namespace pdnn

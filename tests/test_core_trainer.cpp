@@ -1,0 +1,159 @@
+// Trainer tests: loss decreases, overfitting a single sample works, and the
+// evaluation helper is consistent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dataset.hpp"
+#include "core/model.hpp"
+#include "core/pipeline.hpp"
+#include "core/trainer.hpp"
+
+namespace pdnn {
+namespace {
+
+pdn::DesignSpec tiny_spec() {
+  pdn::DesignSpec s;
+  s.name = "tiny";
+  s.tile_rows = 6;
+  s.tile_cols = 6;
+  s.nodes_per_tile = 2;
+  s.top_stride = 3;
+  s.bump_pitch = 2;
+  s.num_loads = 14;
+  s.unit_current = 5e-3;
+  s.seed = 41;
+  return s;
+}
+
+struct Fixture {
+  pdn::PowerGrid grid{tiny_spec()};
+  sim::TransientSimulator simulator{grid, {}};
+  core::RawDataset raw;
+  core::CompiledDataset data;
+
+  explicit Fixture(int vectors) {
+    vectors::VectorGenParams params;
+    params.num_steps = 30;
+    vectors::TestVectorGenerator gen(grid, params, 99);
+    raw = core::simulate_dataset(grid, simulator, gen, vectors);
+    core::TemporalCompressionOptions temporal;
+    temporal.rate = 0.25;
+    data = core::compile_dataset(raw, temporal, {});
+  }
+
+  core::ModelConfig config() const {
+    core::ModelConfig c;
+    c.distance_channels = static_cast<int>(grid.bumps().size());
+    c.tile_rows = 6;
+    c.tile_cols = 6;
+    c.current_scale = data.current_scale;
+    c.noise_scale = data.noise_scale;
+    return c;
+  }
+};
+
+TEST(Trainer, LossDecreasesOverEpochs) {
+  Fixture f(10);
+  core::WorstCaseNoiseNet model(f.config());
+  core::TrainOptions opt;
+  opt.epochs = 8;
+  opt.lr = 1e-3f;  // tiny problem: faster than the paper's 1e-4
+  const auto report = core::train_model(model, f.data, opt);
+  ASSERT_EQ(report.train_loss.size(), 8u);
+  EXPECT_LT(report.train_loss.back(), 0.7 * report.train_loss.front());
+  EXPECT_GT(report.seconds, 0.0);
+}
+
+TEST(Trainer, CanOverfitSingleSample) {
+  Fixture f(4);
+  // Restrict training to one sample; the network must drive its loss toward
+  // zero (capacity sanity check).
+  core::CompiledDataset single = f.data;
+  single.split.train = {0};
+  single.split.val = {0};
+  core::WorstCaseNoiseNet model(f.config());
+  core::TrainOptions opt;
+  opt.epochs = 150;
+  opt.lr = 3e-3f;
+  const auto report = core::train_model(model, single, opt);
+  EXPECT_LT(report.train_loss.back(), 0.1 * report.train_loss.front());
+}
+
+TEST(Trainer, EvaluateLossMatchesValCurve) {
+  Fixture f(8);
+  core::WorstCaseNoiseNet model(f.config());
+  core::TrainOptions opt;
+  opt.epochs = 2;
+  const auto report = core::train_model(model, f.data, opt);
+  const double manual = core::evaluate_loss(model, f.data, f.data.split.val);
+  EXPECT_NEAR(manual, report.val_loss.back(), 1e-6);
+}
+
+TEST(Trainer, RejectsEmptyTrainSet) {
+  Fixture f(4);
+  core::CompiledDataset empty = f.data;
+  empty.split.train.clear();
+  core::WorstCaseNoiseNet model(f.config());
+  EXPECT_THROW(core::train_model(model, empty, {}), util::CheckError);
+}
+
+TEST(Pipeline, PredictionMatchesManualForward) {
+  Fixture f(4);
+  core::WorstCaseNoiseNet model(f.config());
+  core::PipelineOptions popt;
+  popt.temporal.rate = 0.25;
+  core::WorstCasePipeline pipeline(f.grid, model, popt);
+
+  vectors::VectorGenParams params;
+  params.num_steps = 30;
+  vectors::TestVectorGenerator gen(f.grid, params, 123);
+  const auto trace = gen.generate();
+
+  core::PredictionTiming timing;
+  const util::MapF pred = pipeline.predict(trace, &timing);
+  EXPECT_EQ(pred.rows(), 6);
+  EXPECT_EQ(pred.cols(), 6);
+  EXPECT_GT(timing.total_seconds, 0.0);
+  EXPECT_EQ(timing.kept_steps, static_cast<int>(std::lround(0.25 * 30)));
+
+  // Manual reproduction of the pipeline's steps must agree exactly.
+  const core::SpatialCompressor sc(f.grid);
+  const auto maps = sc.current_maps(trace);
+  const auto tc =
+      core::compress_temporal(core::total_current_sequence(maps), popt.temporal);
+  const nn::Tensor currents =
+      core::stack_current_maps(maps, tc.kept, model.config().current_scale);
+  nn::NoGradGuard guard;
+  const nn::Var out = model.forward(nn::Var(core::distance_feature(f.grid)),
+                                    nn::Var(currents));
+  const util::MapF manual =
+      core::tensor_to_map(out.value(), model.config().noise_scale);
+  for (int r = 0; r < 6; ++r) {
+    for (int c = 0; c < 6; ++c) {
+      ASSERT_FLOAT_EQ(pred(r, c), manual(r, c));
+    }
+  }
+}
+
+TEST(Pipeline, InferenceIsFasterThanGoldenSim) {
+  Fixture f(4);
+  core::WorstCaseNoiseNet model(f.config());
+  core::PipelineOptions popt;
+  popt.temporal.rate = 0.25;
+  core::WorstCasePipeline pipeline(f.grid, model, popt);
+  vectors::VectorGenParams params;
+  params.num_steps = 30;
+  vectors::TestVectorGenerator gen(f.grid, params, 321);
+  const auto trace = gen.generate();
+
+  core::PredictionTiming timing;
+  pipeline.predict(trace, &timing);  // warm-up
+  pipeline.predict(trace, &timing);
+  const auto golden = f.simulator.simulate(trace);
+  EXPECT_LT(timing.total_seconds, golden.solve_seconds * 5.0)
+      << "inference should be at least comparable on a tiny design";
+}
+
+}  // namespace
+}  // namespace pdnn

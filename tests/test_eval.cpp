@@ -1,0 +1,164 @@
+// Metric tests: hand-computed AE/RE statistics, percentiles, ROC AUC, and
+// hotspot identification.
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+#include "util/check.hpp"
+
+namespace pdnn {
+namespace {
+
+util::MapF make_map(int rows, int cols, std::initializer_list<float> values) {
+  util::MapF m(rows, cols);
+  auto it = values.begin();
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = *it++;
+  }
+  return m;
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(eval::percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(eval::percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(eval::percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(eval::percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(eval::percentile(v, 10), 1.4);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(eval::percentile({7.0}, 99), 7.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadP) {
+  EXPECT_THROW(eval::percentile({}, 50), util::CheckError);
+  EXPECT_THROW(eval::percentile({1.0}, 101), util::CheckError);
+}
+
+TEST(RocAuc, PerfectSeparation) {
+  const std::vector<float> scores{0.1f, 0.2f, 0.8f, 0.9f};
+  const std::vector<char> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(eval::roc_auc(scores, labels), 1.0);
+}
+
+TEST(RocAuc, PerfectInversion) {
+  const std::vector<float> scores{0.9f, 0.8f, 0.2f, 0.1f};
+  const std::vector<char> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(eval::roc_auc(scores, labels), 0.0);
+}
+
+TEST(RocAuc, RandomScoresNearHalf) {
+  // Interleaved ranks -> AUC 0.5.
+  const std::vector<float> scores{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<char> labels{0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(eval::roc_auc(scores, labels), 0.625, 1e-12);
+}
+
+TEST(RocAuc, TiesContributeHalf) {
+  const std::vector<float> scores{0.5f, 0.5f};
+  const std::vector<char> labels{0, 1};
+  EXPECT_DOUBLE_EQ(eval::roc_auc(scores, labels), 0.5);
+}
+
+TEST(RocAuc, DegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(eval::roc_auc({0.1f, 0.9f}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(eval::roc_auc({0.1f, 0.9f}, {0, 0}), 0.5);
+}
+
+TEST(MapEvaluator, HandComputedStats) {
+  // truth 100mV everywhere, predictions off by +10/-10/0/+20 mV.
+  const auto truth = make_map(2, 2, {0.1f, 0.1f, 0.1f, 0.1f});
+  const auto pred = make_map(2, 2, {0.11f, 0.09f, 0.1f, 0.12f});
+  eval::MapEvaluator ev(1.0);
+  ev.add(pred, truth);
+  const auto acc = ev.accuracy();
+  EXPECT_EQ(acc.count, 4);
+  EXPECT_NEAR(acc.mean_ae, 0.01, 1e-8);
+  EXPECT_NEAR(acc.mean_re, 0.1, 1e-6);
+  EXPECT_NEAR(acc.max_ae, 0.02, 1e-8);
+  EXPECT_NEAR(acc.max_re, 0.2, 1e-6);
+}
+
+TEST(MapEvaluator, HotspotMissingRate) {
+  // Threshold = 0.1 V. Truth: 3 hotspots, 1 cold. Prediction misses one
+  // hotspot and adds one false alarm.
+  const auto truth = make_map(2, 2, {0.15f, 0.12f, 0.11f, 0.05f});
+  const auto pred = make_map(2, 2, {0.14f, 0.13f, 0.08f, 0.11f});
+  eval::MapEvaluator ev(1.0);
+  ev.add(pred, truth);
+  const auto h = ev.hotspots();
+  EXPECT_EQ(h.hotspots, 3);
+  EXPECT_EQ(h.tiles, 4);
+  EXPECT_NEAR(h.missing_rate, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.false_alarm_rate, 1.0, 1e-12);
+  EXPECT_NEAR(h.hotspot_ratio, 0.75, 1e-12);
+}
+
+TEST(MapEvaluator, AccumulatesAcrossSamples) {
+  const auto truth = make_map(1, 2, {0.1f, 0.2f});
+  const auto pred = make_map(1, 2, {0.1f, 0.2f});
+  eval::MapEvaluator ev(1.0);
+  ev.add(pred, truth);
+  ev.add(pred, truth);
+  EXPECT_EQ(ev.accuracy().count, 4);
+  EXPECT_DOUBLE_EQ(ev.accuracy().mean_ae, 0.0);
+  EXPECT_DOUBLE_EQ(ev.hotspots().missing_rate, 0.0);
+  EXPECT_DOUBLE_EQ(ev.hotspots().auc, 0.5);  // all predictions correct classes
+}
+
+TEST(MapEvaluator, PerfectPredictionAuc) {
+  const auto truth = make_map(1, 4, {0.15f, 0.12f, 0.05f, 0.02f});
+  eval::MapEvaluator ev(1.0);
+  ev.add(truth, truth);
+  EXPECT_DOUBLE_EQ(ev.hotspots().auc, 1.0);
+  EXPECT_DOUBLE_EQ(ev.accuracy().p99_re, 0.0);
+}
+
+TEST(MapEvaluator, ShapeMismatchRejected) {
+  eval::MapEvaluator ev(1.0);
+  EXPECT_THROW(ev.add(util::MapF(2, 2), util::MapF(2, 3)), util::CheckError);
+}
+
+class PercentileProperties : public testing::TestWithParam<double> {};
+
+TEST_P(PercentileProperties, BoundedAndMonotone) {
+  // For any p, percentile lies within [min, max]; and percentile is
+  // monotone in p.
+  std::vector<double> v{5.0, 1.0, 9.0, 3.0, 3.0, 7.5, 2.0, 8.0};
+  const double p = GetParam();
+  const double q = eval::percentile(v, p);
+  EXPECT_GE(q, 1.0);
+  EXPECT_LE(q, 9.0);
+  if (p >= 5.0) {
+    EXPECT_GE(q, eval::percentile(v, p - 5.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PSweep, PercentileProperties,
+                         testing::Values(0.0, 5.0, 25.0, 50.0, 75.0, 95.0,
+                                         99.0, 100.0),
+                         [](const auto& info) {
+                           return "p" + std::to_string(
+                                            static_cast<int>(info.param));
+                         });
+
+TEST(RocAuc, InvariantToMonotoneScoreTransform) {
+  // AUC is a rank statistic: squaring positive scores must not change it.
+  const std::vector<float> scores{0.2f, 0.5f, 0.9f, 0.3f, 0.7f, 0.1f};
+  const std::vector<char> labels{0, 1, 1, 0, 1, 0};
+  std::vector<float> squared = scores;
+  for (float& s : squared) s = s * s;
+  EXPECT_DOUBLE_EQ(eval::roc_auc(scores, labels),
+                   eval::roc_auc(squared, labels));
+}
+
+TEST(RelativeErrorMap, ElementWise) {
+  const auto truth = make_map(1, 2, {0.1f, 0.0f});
+  const auto pred = make_map(1, 2, {0.12f, 0.01f});
+  const auto re = eval::relative_error_map(pred, truth, 1e-3f);
+  EXPECT_NEAR(re(0, 0), 0.2f, 1e-5f);
+  EXPECT_NEAR(re(0, 1), 10.0f, 1e-4f);  // floored denominator
+}
+
+}  // namespace
+}  // namespace pdnn

@@ -1,0 +1,203 @@
+// Tests for the gradient-boosted-trees baseline: tree splitting, boosting
+// convergence, and the per-tile noise predictor built on it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "baseline/gbrt.hpp"
+#include "baseline/gbrt_noise.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pdnn {
+namespace {
+
+using baseline::GbrtOptions;
+using baseline::GradientBoostedTrees;
+using baseline::RegressionTree;
+
+TEST(RegressionTree, FitsAStepFunctionExactly) {
+  // y = 1 for x >= 0.5 else 0: one split suffices.
+  std::vector<std::vector<float>> x;
+  std::vector<float> y;
+  for (int i = 0; i < 40; ++i) {
+    const float v = static_cast<float>(i) / 40.0f;
+    x.push_back({v});
+    y.push_back(v >= 0.5f ? 1.0f : 0.0f);
+  }
+  std::vector<int> rows(40);
+  std::iota(rows.begin(), rows.end(), 0);
+  RegressionTree tree;
+  tree.fit(x, y, rows, /*max_depth=*/2, /*min_samples_leaf=*/2);
+  EXPECT_NEAR(tree.predict({0.1f}), 0.0f, 1e-6f);
+  EXPECT_NEAR(tree.predict({0.9f}), 1.0f, 1e-6f);
+}
+
+TEST(RegressionTree, DepthZeroIsMean) {
+  std::vector<std::vector<float>> x{{0.0f}, {1.0f}};
+  std::vector<float> y{2.0f, 4.0f};
+  RegressionTree tree;
+  tree.fit(x, y, {0, 1}, /*max_depth=*/0, /*min_samples_leaf=*/1);
+  EXPECT_FLOAT_EQ(tree.predict({0.0f}), 3.0f);
+  EXPECT_FLOAT_EQ(tree.predict({1.0f}), 3.0f);
+}
+
+TEST(RegressionTree, PicksTheInformativeFeature) {
+  // Feature 1 is noise; feature 0 carries the signal.
+  util::Rng rng(1);
+  std::vector<std::vector<float>> x;
+  std::vector<float> y;
+  for (int i = 0; i < 100; ++i) {
+    const float signal = static_cast<float>(rng.uniform());
+    x.push_back({signal, static_cast<float>(rng.uniform())});
+    y.push_back(signal > 0.5f ? 3.0f : -3.0f);
+  }
+  std::vector<int> rows(100);
+  std::iota(rows.begin(), rows.end(), 0);
+  RegressionTree tree;
+  tree.fit(x, y, rows, 1, 2);
+  EXPECT_NEAR(tree.predict({0.9f, 0.2f}), 3.0f, 0.8f);
+  EXPECT_NEAR(tree.predict({0.1f, 0.9f}), -3.0f, 0.8f);
+}
+
+TEST(Gbrt, LearnsSmoothNonlinearFunction) {
+  // y = sin(2 pi x0) + 0.5 * x1.
+  util::Rng rng(2);
+  std::vector<std::vector<float>> x;
+  std::vector<float> y;
+  for (int i = 0; i < 400; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    x.push_back({a, b});
+    y.push_back(std::sin(6.2832f * a) + 0.5f * b);
+  }
+  GbrtOptions opt;
+  opt.trees = 200;
+  GradientBoostedTrees model(opt);
+  model.fit(x, y);
+  EXPECT_LT(model.training_mse(), 0.01);
+
+  // Held-out points.
+  double mse = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    const float truth = std::sin(6.2832f * a) + 0.5f * b;
+    const float pred = model.predict({a, b});
+    mse += (pred - truth) * (pred - truth);
+  }
+  EXPECT_LT(mse / 100.0, 0.05);
+}
+
+TEST(Gbrt, MoreTreesFitTighter) {
+  util::Rng rng(3);
+  std::vector<std::vector<float>> x;
+  std::vector<float> y;
+  for (int i = 0; i < 200; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    x.push_back({a});
+    y.push_back(a * a);
+  }
+  GbrtOptions few;
+  few.trees = 5;
+  GbrtOptions many;
+  many.trees = 100;
+  GradientBoostedTrees m1(few), m2(many);
+  m1.fit(x, y);
+  m2.fit(x, y);
+  EXPECT_LT(m2.training_mse(), m1.training_mse());
+}
+
+TEST(Gbrt, RejectsBadOptions) {
+  GbrtOptions opt;
+  opt.trees = 0;
+  EXPECT_THROW(GradientBoostedTrees{opt}, util::CheckError);
+  opt = GbrtOptions{};
+  opt.subsample = 0.0;
+  EXPECT_THROW(GradientBoostedTrees{opt}, util::CheckError);
+}
+
+TEST(Gbrt, RejectsEmptyData) {
+  GradientBoostedTrees model;
+  EXPECT_THROW(model.fit({}, {}), util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+
+pdn::DesignSpec tiny_spec() {
+  pdn::DesignSpec s;
+  s.name = "tiny";
+  s.tile_rows = 6;
+  s.tile_cols = 6;
+  s.nodes_per_tile = 2;
+  s.top_stride = 3;
+  s.bump_pitch = 2;
+  s.num_loads = 14;
+  s.unit_current = 5e-3;
+  s.seed = 81;
+  return s;
+}
+
+core::RawDataset build_raw(const pdn::PowerGrid& grid, int vectors) {
+  sim::TransientSimulator simulator(grid, {});
+  vectors::VectorGenParams params;
+  params.num_steps = 24;
+  vectors::TestVectorGenerator gen(grid, params, 91);
+  return core::simulate_dataset(grid, simulator, gen, vectors);
+}
+
+TEST(GbrtNoise, FeatureVectorShapeAndScale) {
+  const pdn::PowerGrid grid(tiny_spec());
+  const auto raw = build_raw(grid, 2);
+  baseline::GbrtNoisePredictor predictor(grid);
+  const auto f = predictor.tile_features(raw.samples[0], 2, 3);
+  EXPECT_EQ(static_cast<int>(f.size()),
+            baseline::GbrtNoisePredictor::feature_count());
+  // Bump distance and count are geometric, independent of the sample.
+  EXPECT_GE(f[8], 0.0f);
+  EXPECT_GE(f[9], 0.0f);
+}
+
+TEST(GbrtNoise, TrainingBeatsConstantPredictor) {
+  const pdn::PowerGrid grid(tiny_spec());
+  const auto raw = build_raw(grid, 10);
+  baseline::GbrtNoisePredictor predictor(grid);
+  const std::vector<int> train_idx{0, 1, 2, 3, 4, 5, 6, 7};
+  const double train_s = predictor.train(raw, train_idx);
+  EXPECT_GT(train_s, 0.0);
+
+  // Compare against the best constant (the train-set mean noise).
+  double mean_noise = 0.0;
+  std::size_t count = 0;
+  for (int idx : train_idx) {
+    for (float v : raw.samples[static_cast<std::size_t>(idx)].truth.storage()) {
+      mean_noise += v;
+      ++count;
+    }
+  }
+  mean_noise /= static_cast<double>(count);
+
+  double model_mae = 0.0, const_mae = 0.0;
+  std::size_t tiles = 0;
+  for (int idx : {8, 9}) {
+    const auto& sample = raw.samples[static_cast<std::size_t>(idx)];
+    const util::MapF pred = predictor.predict(sample);
+    for (std::size_t i = 0; i < sample.truth.size(); ++i) {
+      model_mae += std::abs(pred.storage()[i] - sample.truth.storage()[i]);
+      const_mae += std::abs(mean_noise - sample.truth.storage()[i]);
+      ++tiles;
+    }
+  }
+  EXPECT_LT(model_mae, const_mae);
+}
+
+TEST(GbrtNoise, RejectsEmptyTrainingSet) {
+  const pdn::PowerGrid grid(tiny_spec());
+  baseline::GbrtNoisePredictor predictor(grid);
+  const auto raw = build_raw(grid, 1);
+  EXPECT_THROW(predictor.train(raw, {}), util::CheckError);
+}
+
+}  // namespace
+}  // namespace pdnn

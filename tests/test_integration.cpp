@@ -1,0 +1,81 @@
+// End-to-end integration: the full paper flow on a miniature design —
+// calibrate, simulate a dataset, train the three-subnet model, and verify
+// that held-out prediction accuracy and hotspot identification are sane.
+#include <gtest/gtest.h>
+
+#include "core/dataset.hpp"
+#include "core/pipeline.hpp"
+#include "core/trainer.hpp"
+#include "eval/metrics.hpp"
+#include "sim/calibrate.hpp"
+
+namespace pdnn {
+namespace {
+
+TEST(Integration, EndToEndTinyDesignLearnsNoiseMap) {
+  // 1) Design + calibration to a 100 mV mean worst-case noise.
+  pdn::DesignSpec spec;
+  spec.name = "it";
+  spec.tile_rows = 12;
+  spec.tile_cols = 12;
+  spec.nodes_per_tile = 2;
+  spec.top_stride = 3;
+  spec.bump_pitch = 2;
+  spec.num_loads = 50;
+  spec.load_clusters = 2;
+  spec.cluster_fraction = 0.7;
+  spec.target_mean_noise = 0.1;
+  spec.seed = 2024;
+
+  vectors::VectorGenParams gen_params;
+  gen_params.num_steps = 40;
+  const pdn::DesignSpec calibrated = sim::calibrate_design(spec, gen_params, 2);
+
+  // 2) Golden dataset.
+  const pdn::PowerGrid grid(calibrated);
+  sim::TransientSimulator simulator(grid, {});
+  vectors::TestVectorGenerator gen(grid, gen_params, calibrated.seed);
+  const auto raw = core::simulate_dataset(grid, simulator, gen, 40);
+
+  core::TemporalCompressionOptions temporal;
+  temporal.rate = 0.2;
+  const auto data = core::compile_dataset(raw, temporal, {});
+  ASSERT_GE(data.split.test.size(), 3u);
+
+  // 3) Train.
+  core::ModelConfig cfg;
+  cfg.distance_channels = static_cast<int>(grid.bumps().size());
+  cfg.tile_rows = 12;
+  cfg.tile_cols = 12;
+  cfg.current_scale = data.current_scale;
+  cfg.noise_scale = data.noise_scale;
+  core::WorstCaseNoiseNet model(cfg);
+  core::TrainOptions topt;
+  topt.epochs = 80;
+  topt.lr = 1e-3f;
+  topt.lr_decay = 0.98f;
+  const auto report = core::train_model(model, data, topt);
+  EXPECT_LT(report.val_loss.back(), report.val_loss.front());
+
+  // 4) Evaluate on the held-out test split.
+  eval::MapEvaluator evaluator(calibrated.vdd);
+  for (int idx : data.split.test) {
+    nn::NoGradGuard guard;
+    const auto& s = data.samples[static_cast<std::size_t>(idx)];
+    const nn::Var pred = model.forward(nn::Var(data.distance), nn::Var(s.currents));
+    const util::MapF map = core::tensor_to_map(pred.value(), cfg.noise_scale);
+    evaluator.add(map, raw.samples[static_cast<std::size_t>(s.raw_index)].truth);
+  }
+  const auto acc = evaluator.accuracy();
+  const auto hot = evaluator.hotspots();
+
+  // Loose but meaningful bounds for a tiny model trained for seconds: the
+  // paper reports ~1% mean RE at full scale; here we accept <20% and require
+  // the hotspot classifier to be far better than chance.
+  EXPECT_LT(acc.mean_re, 0.20) << "mean relative error too high";
+  EXPECT_LT(acc.mean_ae, 0.05) << "mean absolute error above 50 mV";
+  EXPECT_GT(hot.auc, 0.8) << "hotspot AUC barely better than chance";
+}
+
+}  // namespace
+}  // namespace pdnn

@@ -1,0 +1,82 @@
+// Tests for the Tensor container.
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hpp"
+#include "util/check.hpp"
+
+namespace pdnn {
+namespace {
+
+using nn::Tensor;
+
+TEST(Tensor, ZerosShapeAndContent) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.ndim(), 4);
+  EXPECT_EQ(t.numel(), 120);
+  EXPECT_EQ(t.n(), 2);
+  EXPECT_EQ(t.c(), 3);
+  EXPECT_EQ(t.h(), 4);
+  EXPECT_EQ(t.w(), 5);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_FLOAT_EQ(t.data()[i], 0.0f);
+  }
+}
+
+TEST(Tensor, FullAndScalar) {
+  const Tensor t = Tensor::full({3}, 2.5f);
+  EXPECT_FLOAT_EQ(t.data()[2], 2.5f);
+  EXPECT_FLOAT_EQ(Tensor::scalar(7.0f).item(), 7.0f);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor::from_data({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::from_data({2, 2}, {1, 2, 3}), util::CheckError);
+}
+
+TEST(Tensor, At4RowMajorNchw) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_FLOAT_EQ(t.data()[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, CopySharesStorageCloneDoesNot) {
+  Tensor a({4});
+  Tensor shared = a;
+  Tensor deep = a.clone();
+  a.data()[0] = 5.0f;
+  EXPECT_FLOAT_EQ(shared.data()[0], 5.0f);
+  EXPECT_FLOAT_EQ(deep.data()[0], 0.0f);
+}
+
+TEST(Tensor, ReshapedSharesStorage) {
+  Tensor a({2, 6});
+  const Tensor b = a.reshaped({3, 4});
+  a.data()[7] = 1.0f;
+  EXPECT_FLOAT_EQ(b.data()[7], 1.0f);
+  EXPECT_EQ(b.dim(0), 3);
+  EXPECT_THROW(a.reshaped({5}), util::CheckError);
+}
+
+TEST(Tensor, AddScaled) {
+  Tensor a = Tensor::full({3}, 1.0f);
+  const Tensor b = Tensor::full({3}, 2.0f);
+  a.add_scaled(b, 0.5f);
+  EXPECT_FLOAT_EQ(a.data()[0], 2.0f);
+  Tensor c({4});
+  EXPECT_THROW(a.add_scaled(c, 1.0f), util::CheckError);
+}
+
+TEST(Tensor, ItemRequiresSingleElement) {
+  EXPECT_THROW(Tensor({2}).item(), util::CheckError);
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).shape_string(), "[2x3]");
+}
+
+TEST(Tensor, NegativeDimensionRejected) {
+  EXPECT_THROW(Tensor({2, -1}), util::CheckError);
+}
+
+}  // namespace
+}  // namespace pdnn

@@ -1,0 +1,187 @@
+// Unit tests for the PDN modeling layer: design specs, grid construction
+// invariants, geometry, and the electrical matrix.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pdn/design.hpp"
+#include "pdn/power_grid.hpp"
+#include "util/check.hpp"
+
+namespace pdnn {
+namespace {
+
+pdn::DesignSpec tiny_spec() {
+  pdn::DesignSpec s;
+  s.name = "tiny";
+  s.tile_rows = 6;
+  s.tile_cols = 8;
+  s.nodes_per_tile = 2;
+  s.top_stride = 3;
+  s.bump_pitch = 2;
+  s.num_loads = 10;
+  s.seed = 5;
+  return s;
+}
+
+TEST(Design, AllFourDesignsAtEveryScale) {
+  for (const auto scale :
+       {pdn::Scale::kSmall, pdn::Scale::kMedium, pdn::Scale::kPaper}) {
+    const auto designs = pdn::all_designs(scale);
+    ASSERT_EQ(designs.size(), 4u);
+    EXPECT_EQ(designs[0].name, "D1");
+    EXPECT_EQ(designs[3].name, "D4");
+    // Table 1 orderings: load counts strictly increase D1 -> D4.
+    for (int i = 1; i < 4; ++i) {
+      EXPECT_GT(designs[static_cast<std::size_t>(i)].num_loads,
+                designs[static_cast<std::size_t>(i - 1)].num_loads);
+    }
+    // Mean worst-case noise targets follow Table 1: D3 > D1 > D2 > D4.
+    EXPECT_GT(designs[2].target_mean_noise, designs[0].target_mean_noise);
+    EXPECT_GT(designs[0].target_mean_noise, designs[1].target_mean_noise);
+    EXPECT_GT(designs[1].target_mean_noise, designs[3].target_mean_noise);
+  }
+}
+
+TEST(Design, PaperScaleTileGridsMatchTable2) {
+  EXPECT_EQ(pdn::design_d1(pdn::Scale::kPaper).tile_rows, 50);
+  EXPECT_EQ(pdn::design_d1(pdn::Scale::kPaper).tile_cols, 50);
+  EXPECT_EQ(pdn::design_d2(pdn::Scale::kPaper).tile_rows, 130);
+  EXPECT_EQ(pdn::design_d3(pdn::Scale::kPaper).tile_rows, 70);
+  EXPECT_EQ(pdn::design_d3(pdn::Scale::kPaper).tile_cols, 50);
+  EXPECT_EQ(pdn::design_d4(pdn::Scale::kPaper).tile_rows, 180);
+}
+
+TEST(Design, LookupByName) {
+  EXPECT_EQ(pdn::design_by_name("D2", pdn::Scale::kSmall).name, "D2");
+  EXPECT_EQ(pdn::design_by_name("d4", pdn::Scale::kSmall).name, "D4");
+  EXPECT_THROW(pdn::design_by_name("D5", pdn::Scale::kSmall), util::CheckError);
+}
+
+TEST(Design, ScaleParsing) {
+  EXPECT_EQ(pdn::scale_from_string("small"), pdn::Scale::kSmall);
+  EXPECT_EQ(pdn::scale_from_string("paper"), pdn::Scale::kPaper);
+  EXPECT_THROW(pdn::scale_from_string("huge"), util::CheckError);
+  EXPECT_EQ(pdn::to_string(pdn::Scale::kMedium), "medium");
+}
+
+TEST(PowerGrid, NodeCounts) {
+  const pdn::PowerGrid grid(tiny_spec());
+  EXPECT_EQ(grid.bottom_rows(), 12);
+  EXPECT_EQ(grid.bottom_cols(), 16);
+  EXPECT_EQ(grid.num_bottom_nodes(), 192);
+  // Top grid: ceil(12/3) x ceil(16/3) = 4 x 6.
+  EXPECT_EQ(grid.num_top_nodes(), 24);
+  EXPECT_EQ(grid.num_nodes(), 216);
+}
+
+TEST(PowerGrid, ConductanceMatrixIsSymmetricLaplacian) {
+  const pdn::PowerGrid grid(tiny_spec());
+  const auto& g = grid.conductance();
+  EXPECT_EQ(g.rows(), grid.num_nodes());
+  EXPECT_TRUE(g.is_symmetric(1e-9));
+  // Pure resistor network without grounding: every row sums to ~0.
+  std::vector<double> ones(static_cast<std::size_t>(g.rows()), 1.0);
+  std::vector<double> row_sums;
+  g.multiply(ones, row_sums);
+  for (double s : row_sums) EXPECT_NEAR(s, 0.0, 1e-9);
+}
+
+TEST(PowerGrid, LoadsAreUniqueBottomNodes) {
+  const pdn::PowerGrid grid(tiny_spec());
+  const auto& loads = grid.load_nodes();
+  EXPECT_EQ(static_cast<int>(loads.size()), 10);
+  std::set<int> unique(loads.begin(), loads.end());
+  EXPECT_EQ(unique.size(), loads.size());
+  for (int node : loads) {
+    EXPECT_TRUE(grid.is_bottom(node));
+  }
+}
+
+TEST(PowerGrid, LoadPlacementDeterministicPerSeed) {
+  const pdn::PowerGrid a(tiny_spec()), b(tiny_spec());
+  EXPECT_EQ(a.load_nodes(), b.load_nodes());
+  auto spec2 = tiny_spec();
+  spec2.seed = 6;
+  const pdn::PowerGrid c(spec2);
+  EXPECT_NE(a.load_nodes(), c.load_nodes());
+}
+
+TEST(PowerGrid, BumpsOnTopLayerWithPackageValues) {
+  const auto spec = tiny_spec();
+  const pdn::PowerGrid grid(spec);
+  ASSERT_FALSE(grid.bumps().empty());
+  for (const auto& b : grid.bumps()) {
+    EXPECT_FALSE(grid.is_bottom(b.node));
+    EXPECT_DOUBLE_EQ(b.r, spec.r_bump + spec.pkg_r);
+    EXPECT_DOUBLE_EQ(b.l, spec.pkg_l);
+    EXPECT_GE(b.row, 0.0);
+    EXPECT_LT(b.row, grid.bottom_rows());
+  }
+}
+
+TEST(PowerGrid, DecapOnlyOnBottomNodes) {
+  const auto spec = tiny_spec();
+  const pdn::PowerGrid grid(spec);
+  const auto& cap = grid.node_capacitance();
+  for (int i = 0; i < grid.num_nodes(); ++i) {
+    if (grid.is_bottom(i)) {
+      EXPECT_DOUBLE_EQ(cap[static_cast<std::size_t>(i)], spec.decap_per_node);
+    } else {
+      EXPECT_DOUBLE_EQ(cap[static_cast<std::size_t>(i)], 0.0);
+    }
+  }
+}
+
+TEST(PowerGrid, TileMappingCoversGridExactly) {
+  const auto spec = tiny_spec();
+  const pdn::PowerGrid grid(spec);
+  std::vector<int> counts(static_cast<std::size_t>(spec.tile_rows) *
+                              spec.tile_cols,
+                          0);
+  for (int node = 0; node < grid.num_bottom_nodes(); ++node) {
+    const int tr = grid.tile_row_of(node);
+    const int tc = grid.tile_col_of(node);
+    ASSERT_GE(tr, 0);
+    ASSERT_LT(tr, spec.tile_rows);
+    ASSERT_GE(tc, 0);
+    ASSERT_LT(tc, spec.tile_cols);
+    ++counts[static_cast<std::size_t>(tr) * spec.tile_cols + tc];
+  }
+  // Every tile holds exactly nodes_per_tile^2 bottom nodes.
+  for (int c : counts) EXPECT_EQ(c, spec.nodes_per_tile * spec.nodes_per_tile);
+}
+
+TEST(PowerGrid, TileCentersInsideTileSpan) {
+  const auto spec = tiny_spec();
+  const pdn::PowerGrid grid(spec);
+  for (int tr = 0; tr < spec.tile_rows; ++tr) {
+    const double ctr = grid.tile_center_row(tr);
+    EXPECT_GE(ctr, tr * spec.nodes_per_tile - 0.5);
+    EXPECT_LE(ctr, (tr + 1) * spec.nodes_per_tile - 0.5);
+  }
+}
+
+TEST(PowerGrid, GeometryOfTopNodes) {
+  const pdn::PowerGrid grid(tiny_spec());
+  const int top0 = grid.num_bottom_nodes();
+  EXPECT_DOUBLE_EQ(grid.node_row(top0), 0.0);
+  EXPECT_DOUBLE_EQ(grid.node_col(top0), 0.0);
+  // Second top node sits one top_stride to the right.
+  EXPECT_DOUBLE_EQ(grid.node_col(top0 + 1), 3.0);
+}
+
+TEST(PowerGrid, RejectsOverfullLoadCount) {
+  auto spec = tiny_spec();
+  spec.num_loads = spec.bottom_rows() * spec.bottom_cols() + 1;
+  EXPECT_THROW(pdn::PowerGrid{spec}, util::CheckError);
+}
+
+TEST(PowerGrid, RejectsEmptyGeometry) {
+  auto spec = tiny_spec();
+  spec.tile_rows = 0;
+  EXPECT_THROW(pdn::PowerGrid{spec}, util::CheckError);
+}
+
+}  // namespace
+}  // namespace pdnn

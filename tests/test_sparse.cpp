@@ -1,0 +1,342 @@
+// Unit + property tests for the sparse stack: CSR assembly, orderings,
+// the band Cholesky, and PCG with both preconditioners.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sparse/cholesky.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ordering.hpp"
+#include "sparse/pcg.hpp"
+#include "sparse/random_walk.hpp"
+#include "sparse/solver.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pdnn {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::Triplet;
+
+/// 2-D grid Laplacian + diagonal shift: the same structure as a PDN matrix.
+CsrMatrix grid_laplacian(int rows, int cols, double shift) {
+  std::vector<Triplet> t;
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      t.push_back({id(r, c), id(r, c), shift});
+      const auto stamp = [&](int a, int b) {
+        t.push_back({a, a, 1.0});
+        t.push_back({b, b, 1.0});
+        t.push_back({a, b, -1.0});
+        t.push_back({b, a, -1.0});
+      };
+      if (c + 1 < cols) stamp(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) stamp(id(r, c), id(r + 1, c));
+    }
+  }
+  return CsrMatrix::from_triplets(rows * cols, t);
+}
+
+std::vector<double> random_vector(int n, util::Rng& rng) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (double& x : v) x = rng.normal();
+  return v;
+}
+
+double residual_norm(const CsrMatrix& a, const std::vector<double>& x,
+                     const std::vector<double>& b) {
+  std::vector<double> ax;
+  a.multiply(x, ax);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    acc += (ax[i] - b[i]) * (ax[i] - b[i]);
+  }
+  return std::sqrt(acc);
+}
+
+TEST(Csr, FromTripletsMergesDuplicates) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      2, {{0, 0, 1.0}, {0, 0, 2.0}, {0, 1, -1.0}, {1, 1, 5.0}, {1, 0, -1.0}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.nnz(), 4);
+  const auto diag = m.diagonal();
+  EXPECT_DOUBLE_EQ(diag[0], 3.0);
+  EXPECT_DOUBLE_EQ(diag[1], 5.0);
+}
+
+TEST(Csr, ColumnsSortedPerRow) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      3, {{0, 2, 1.0}, {0, 0, 1.0}, {0, 1, 1.0}});
+  ASSERT_EQ(m.indptr()[1] - m.indptr()[0], 3);
+  EXPECT_EQ(m.indices()[0], 0);
+  EXPECT_EQ(m.indices()[1], 1);
+  EXPECT_EQ(m.indices()[2], 2);
+}
+
+TEST(Csr, RejectsOutOfRangeIndex) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, {{0, 2, 1.0}}), util::CheckError);
+}
+
+TEST(Csr, MultiplyMatchesManual) {
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(2, {{0, 0, 2.0}, {0, 1, 1.0}, {1, 1, 3.0}});
+  std::vector<double> y;
+  m.multiply({1.0, 2.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Csr, SymmetryDetection) {
+  EXPECT_TRUE(grid_laplacian(4, 5, 0.1).is_symmetric());
+  const CsrMatrix asym =
+      CsrMatrix::from_triplets(2, {{0, 1, 1.0}, {1, 0, 2.0}, {0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_FALSE(asym.is_symmetric());
+}
+
+TEST(Csr, PermutedPreservesSpectrumAction) {
+  const CsrMatrix a = grid_laplacian(3, 3, 0.5);
+  std::vector<int> perm{8, 3, 5, 0, 7, 2, 6, 1, 4};
+  const CsrMatrix p = a.permuted(perm);
+  // (P A P^T) (P x) == P (A x).
+  util::Rng rng(3);
+  const auto x = random_vector(9, rng);
+  std::vector<double> ax, px(9), pax_expected(9), pax;
+  a.multiply(x, ax);
+  for (int i = 0; i < 9; ++i) {
+    px[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(perm[i])];
+    pax_expected[static_cast<std::size_t>(i)] =
+        ax[static_cast<std::size_t>(perm[i])];
+  }
+  p.multiply(px, pax);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_NEAR(pax[static_cast<std::size_t>(i)],
+                pax_expected[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(Csr, LowerTriangleKeepsDiagonal) {
+  const CsrMatrix a = grid_laplacian(3, 3, 0.5);
+  const CsrMatrix low = a.lower_triangle();
+  for (int r = 0; r < low.rows(); ++r) {
+    for (std::int64_t p = low.indptr()[r]; p < low.indptr()[r + 1]; ++p) {
+      EXPECT_LE(low.indices()[static_cast<std::size_t>(p)], r);
+    }
+  }
+  EXPECT_EQ(low.diagonal(), a.diagonal());
+}
+
+TEST(Ordering, RcmReducesBandwidthOnShuffledGrid) {
+  // Destroy the natural ordering with a random symmetric permutation, then
+  // verify RCM recovers a bandwidth close to the grid dimension.
+  const CsrMatrix a = grid_laplacian(12, 12, 0.1);
+  std::vector<int> shuffle(144);
+  std::iota(shuffle.begin(), shuffle.end(), 0);
+  util::Rng rng(77);
+  rng.shuffle(shuffle);
+  const CsrMatrix shuffled = a.permuted(shuffle);
+
+  std::vector<int> identity(144);
+  std::iota(identity.begin(), identity.end(), 0);
+  const int bw_before = sparse::bandwidth(shuffled, identity);
+  const auto perm = sparse::reverse_cuthill_mckee(shuffled);
+  const int bw_after = sparse::bandwidth(shuffled, perm);
+  EXPECT_LT(bw_after, bw_before / 2);
+  EXPECT_LE(bw_after, 40);  // natural grid bandwidth is 12
+}
+
+TEST(Ordering, RcmIsAPermutation) {
+  const CsrMatrix a = grid_laplacian(5, 7, 0.2);
+  auto perm = sparse::reverse_cuthill_mckee(a);
+  std::sort(perm.begin(), perm.end());
+  for (int i = 0; i < 35; ++i) EXPECT_EQ(perm[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Ordering, HandlesDisconnectedGraph) {
+  // Two disjoint 2x2 grids.
+  std::vector<Triplet> t;
+  for (int block = 0; block < 2; ++block) {
+    const int off = block * 4;
+    for (int i = 0; i < 4; ++i) t.push_back({off + i, off + i, 2.0});
+    t.push_back({off + 0, off + 1, -1.0});
+    t.push_back({off + 1, off + 0, -1.0});
+    t.push_back({off + 2, off + 3, -1.0});
+    t.push_back({off + 3, off + 2, -1.0});
+  }
+  const CsrMatrix a = CsrMatrix::from_triplets(8, t);
+  auto perm = sparse::reverse_cuthill_mckee(a);
+  EXPECT_EQ(perm.size(), 8u);
+  std::sort(perm.begin(), perm.end());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(perm[static_cast<std::size_t>(i)], i);
+}
+
+class SolveGrids : public testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SolveGrids, CholeskySolvesToMachinePrecision) {
+  const auto [rows, cols] = GetParam();
+  const CsrMatrix a = grid_laplacian(rows, cols, 0.3);
+  util::Rng rng(1);
+  const auto b = random_vector(a.rows(), rng);
+  sparse::BandCholesky chol;
+  chol.factor(a);
+  std::vector<double> x;
+  chol.solve(b, x);
+  EXPECT_LT(residual_norm(a, x, b), 1e-9);
+}
+
+TEST_P(SolveGrids, PcgJacobiConverges) {
+  const auto [rows, cols] = GetParam();
+  const CsrMatrix a = grid_laplacian(rows, cols, 0.3);
+  util::Rng rng(2);
+  const auto b = random_vector(a.rows(), rng);
+  sparse::JacobiPreconditioner m(a);
+  std::vector<double> x(static_cast<std::size_t>(a.rows()), 0.0);
+  const auto stats = sparse::pcg_solve(a, m, b, x, 1e-10, 2000);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(residual_norm(a, x, b), 1e-7);
+}
+
+TEST_P(SolveGrids, PcgIc0ConvergesFasterThanJacobi) {
+  const auto [rows, cols] = GetParam();
+  const CsrMatrix a = grid_laplacian(rows, cols, 0.3);
+  util::Rng rng(3);
+  const auto b = random_vector(a.rows(), rng);
+  sparse::JacobiPreconditioner mj(a);
+  sparse::Ic0Preconditioner mi(a);
+  std::vector<double> xj(static_cast<std::size_t>(a.rows()), 0.0);
+  std::vector<double> xi = xj;
+  const auto sj = sparse::pcg_solve(a, mj, b, xj, 1e-10, 4000);
+  const auto si = sparse::pcg_solve(a, mi, b, xi, 1e-10, 4000);
+  EXPECT_TRUE(sj.converged);
+  EXPECT_TRUE(si.converged);
+  // Strictly fewer iterations except in the trivial cases that converge in
+  // one step regardless of preconditioner.
+  if (a.rows() > 4) {
+    EXPECT_LT(si.iterations, sj.iterations);
+  } else {
+    EXPECT_LE(si.iterations, sj.iterations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSweep, SolveGrids,
+                         testing::Values(std::pair{1, 1}, std::pair{2, 3},
+                                         std::pair{8, 8}, std::pair{13, 7},
+                                         std::pair{20, 20}, std::pair{31, 5}),
+                         [](const auto& info) {
+                           return std::to_string(info.param.first) + "x" +
+                                  std::to_string(info.param.second);
+                         });
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  // A diagonal with a negative entry is not SPD.
+  const CsrMatrix a =
+      CsrMatrix::from_triplets(2, {{0, 0, 1.0}, {1, 1, -1.0}});
+  sparse::BandCholesky chol;
+  EXPECT_THROW(chol.factor(a), util::CheckError);
+}
+
+TEST(Cholesky, RespectsMemoryBudget) {
+  const CsrMatrix a = grid_laplacian(30, 30, 0.5);
+  sparse::BandCholesky chol;
+  EXPECT_THROW(chol.factor(a, /*max_band_bytes=*/128), util::CheckError);
+}
+
+TEST(Cholesky, WarmRepeatSolvesAreConsistent) {
+  const CsrMatrix a = grid_laplacian(10, 10, 0.2);
+  sparse::BandCholesky chol;
+  chol.factor(a);
+  util::Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto b = random_vector(a.rows(), rng);
+    std::vector<double> x;
+    chol.solve(b, x);
+    EXPECT_LT(residual_norm(a, x, b), 1e-9);
+  }
+}
+
+TEST(Pcg, WarmStartReducesIterations) {
+  const CsrMatrix a = grid_laplacian(16, 16, 0.2);
+  util::Rng rng(4);
+  const auto b = random_vector(a.rows(), rng);
+  sparse::JacobiPreconditioner m(a);
+  std::vector<double> cold(static_cast<std::size_t>(a.rows()), 0.0);
+  const auto cold_stats = sparse::pcg_solve(a, m, b, cold, 1e-10, 4000);
+  // Perturb the rhs slightly; warm-start from the previous solution.
+  auto b2 = b;
+  for (double& v : b2) v *= 1.001;
+  std::vector<double> warm = cold;
+  const auto warm_stats = sparse::pcg_solve(a, m, b2, warm, 1e-10, 4000);
+  EXPECT_TRUE(warm_stats.converged);
+  EXPECT_LT(warm_stats.iterations, cold_stats.iterations);
+}
+
+TEST(Solver, FactoryRoundTrip) {
+  for (const auto kind :
+       {sparse::SolverKind::kCholesky, sparse::SolverKind::kPcgJacobi,
+        sparse::SolverKind::kPcgIc0}) {
+    EXPECT_EQ(sparse::solver_kind_from_string(sparse::to_string(kind)), kind);
+    auto solver = sparse::LinearSolver::create(kind);
+    ASSERT_NE(solver, nullptr);
+    const CsrMatrix a = grid_laplacian(6, 6, 0.4);
+    util::Rng rng(6);
+    const auto b = random_vector(a.rows(), rng);
+    solver->prepare(a);
+    std::vector<double> x(static_cast<std::size_t>(a.rows()), 0.0);
+    solver->solve(b, x);
+    EXPECT_LT(residual_norm(a, x, b), 1e-6) << solver->name();
+  }
+}
+
+TEST(Solver, UnknownNameThrows) {
+  EXPECT_THROW(sparse::solver_kind_from_string("lu"), util::CheckError);
+}
+
+TEST(RandomWalk, MatchesDirectSolverStatistically) {
+  // Strong ground conductance -> short walks and low variance.
+  const CsrMatrix a = grid_laplacian(6, 6, 1.0);
+  util::Rng rng(21);
+  std::vector<double> b(static_cast<std::size_t>(a.rows()), 0.0);
+  b[14] = 2.0;
+  b[7] = -0.5;
+
+  sparse::BandCholesky chol;
+  chol.factor(a);
+  std::vector<double> exact;
+  chol.solve(b, exact);
+
+  const sparse::RandomWalkSolver walker(a);
+  sparse::RandomWalkOptions opt;
+  opt.walks = 20000;
+  for (int node : {0, 7, 14, 35}) {
+    const double estimate = walker.solve_node(b, node, rng, opt);
+    EXPECT_NEAR(estimate, exact[static_cast<std::size_t>(node)],
+                0.05 * std::max(0.05, std::abs(exact[static_cast<std::size_t>(node)])))
+        << "node " << node;
+  }
+}
+
+TEST(RandomWalk, ZeroRhsGivesZero) {
+  const CsrMatrix a = grid_laplacian(4, 4, 0.5);
+  const sparse::RandomWalkSolver walker(a);
+  util::Rng rng(22);
+  const std::vector<double> b(16, 0.0);
+  EXPECT_DOUBLE_EQ(walker.solve_node(b, 5, rng), 0.0);
+}
+
+TEST(RandomWalk, RejectsNonDominantOrUngrounded) {
+  // Pure Laplacian (no diagonal excess anywhere): walks never terminate.
+  const CsrMatrix floating = CsrMatrix::from_triplets(
+      2, {{0, 0, 1.0}, {1, 1, 1.0}, {0, 1, -1.0}, {1, 0, -1.0}});
+  EXPECT_THROW(sparse::RandomWalkSolver{floating}, util::CheckError);
+
+  // Positive off-diagonal violates the transition-probability reading.
+  const CsrMatrix bad = CsrMatrix::from_triplets(
+      2, {{0, 0, 2.0}, {1, 1, 2.0}, {0, 1, 1.0}, {1, 0, 1.0}});
+  EXPECT_THROW(sparse::RandomWalkSolver{bad}, util::CheckError);
+}
+
+}  // namespace
+}  // namespace pdnn
