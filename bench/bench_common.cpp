@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace pdnn::bench {
@@ -39,10 +40,14 @@ void add_common_flags(util::ArgParser& args) {
   args.add_flag("split", "expansion", "train split: expansion|random");
   args.add_bool("ablate-distance", "zero the bump-distance feature (ablation)");
   args.add_bool("verbose", "print per-epoch losses and progress");
+  args.add_flag("threads", "0",
+                "worker threads for the shared pool "
+                "(0: PDNN_THREADS or hardware concurrency)");
 }
 
 ExperimentOptions options_from_args(const util::ArgParser& args) {
-  ExperimentOptions o = options_for_scale(pdn::scale_from_string(args.get("scale")));
+  ExperimentOptions o =
+      options_for_scale(pdn::scale_from_string(args.get("scale")));
   if (args.get_int("vectors") > 0) o.num_vectors = args.get_int("vectors");
   if (args.get_int("epochs") > 0) o.epochs = args.get_int("epochs");
   o.num_steps = args.get_int("steps");
@@ -51,6 +56,8 @@ ExperimentOptions options_from_args(const util::ArgParser& args) {
                                           : core::SplitStrategy::kExpansion;
   o.ablate_distance = args.get_bool("ablate-distance");
   o.verbose = args.get_bool("verbose");
+  o.threads = args.get_int("threads");
+  if (o.threads > 0) util::ThreadPool::set_global_threads(o.threads);
   return o;
 }
 
@@ -104,9 +111,10 @@ DesignExperiment run_design_experiment(const pdn::DesignSpec& base_spec,
   topt.lr = options.lr;
   // Exponential schedule ending at lr/50 regardless of the epoch budget
   // (a fixed per-epoch factor would over-decay long runs).
-  topt.lr_decay = options.lr_decay > 0.0f
-                      ? options.lr_decay
-                      : std::pow(0.02f, 1.0f / static_cast<float>(options.epochs));
+  topt.lr_decay =
+      options.lr_decay > 0.0f
+          ? options.lr_decay
+          : std::pow(0.02f, 1.0f / static_cast<float>(options.epochs));
   topt.verbose = options.verbose;
   ex.train_report = core::train_model(*ex.model, ex.data, topt);
 
@@ -123,16 +131,20 @@ DesignExperiment run_design_experiment(const pdn::DesignSpec& base_spec,
   vectors::TestVectorGenerator replay(*ex.grid, gen_params, ex.spec.seed);
   std::vector<vectors::CurrentTrace> traces;
   traces.reserve(static_cast<std::size_t>(options.num_vectors));
-  for (int i = 0; i < options.num_vectors; ++i) traces.push_back(replay.generate());
+  for (int i = 0; i < options.num_vectors; ++i) {
+    traces.push_back(replay.generate());
+  }
 
   double proposed = 0.0;
   for (int idx : ex.data.split.test) {
-    const int raw_idx = ex.data.samples[static_cast<std::size_t>(idx)].raw_index;
+    const int raw_idx =
+        ex.data.samples[static_cast<std::size_t>(idx)].raw_index;
     core::PredictionTiming timing;
     const util::MapF pred =
         pipeline.predict(traces[static_cast<std::size_t>(raw_idx)], &timing);
     proposed += timing.total_seconds;
-    evaluator.add(pred, ex.raw.samples[static_cast<std::size_t>(raw_idx)].truth);
+    evaluator.add(pred,
+                  ex.raw.samples[static_cast<std::size_t>(raw_idx)].truth);
     ex.test_predictions.push_back(pred);
   }
   ex.accuracy = evaluator.accuracy();

@@ -40,6 +40,7 @@ struct ExperimentOptions {
   core::SplitStrategy split = core::SplitStrategy::kExpansion;
   bool ablate_distance = false;  ///< zero the bump-distance feature
   bool verbose = false;
+  int threads = 0;  ///< pool size; 0 = PDNN_THREADS / hardware concurrency
 };
 
 /// Defaults per scale, overridable from the CLI.

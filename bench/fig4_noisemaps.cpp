@@ -10,10 +10,12 @@ int main(int argc, char** argv) {
   using namespace pdnn;
   using namespace pdnn::bench;
 
-  util::ArgParser args("fig4_noisemaps",
-                       "Reproduce Fig. 4 (truth vs predicted noise maps, D1-D3)");
+  util::ArgParser args(
+      "fig4_noisemaps",
+      "Reproduce Fig. 4 (truth vs predicted noise maps, D1-D3)");
   add_common_flags(args);
-  args.add_flag("outdir", "bench_artifacts/fig4", "output directory for images");
+  args.add_flag("outdir", "bench_artifacts/fig4",
+                "output directory for images");
   if (!args.parse(argc, argv)) return 0;
   const ExperimentOptions options = options_from_args(args);
   const std::string outdir = args.get("outdir");
@@ -28,14 +30,16 @@ int main(int argc, char** argv) {
 
     // First held-out test vector.
     const int idx = ex.data.split.test.front();
-    const int raw_idx = ex.data.samples[static_cast<std::size_t>(idx)].raw_index;
+    const int raw_idx =
+        ex.data.samples[static_cast<std::size_t>(idx)].raw_index;
     const util::MapF& truth =
         ex.raw.samples[static_cast<std::size_t>(raw_idx)].truth;
     const util::MapF& pred = ex.test_predictions.front();
 
     // Common display window so the pair is visually comparable.
     const float hi = std::max(truth.max_value(), pred.max_value());
-    util::write_pgm(truth, outdir + "/" + ex.spec.name + "_truth.pgm", 0.0f, hi);
+    util::write_pgm(truth, outdir + "/" + ex.spec.name + "_truth.pgm", 0.0f,
+                    hi);
     util::write_pgm(pred, outdir + "/" + ex.spec.name + "_pred.pgm", 0.0f, hi);
     util::write_csv(truth, outdir + "/" + ex.spec.name + "_truth.csv");
     util::write_csv(pred, outdir + "/" + ex.spec.name + "_pred.csv");

@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
                        "Reproduce Fig. 5 (D4 detail: RE histogram + maps)");
   add_common_flags(args);
   args.add_flag("design", "D4", "design to analyze (paper: D4)");
-  args.add_flag("outdir", "bench_artifacts/fig5", "output directory for images");
+  args.add_flag("outdir", "bench_artifacts/fig5",
+                "output directory for images");
   if (!args.parse(argc, argv)) return 0;
   const ExperimentOptions options = options_from_args(args);
   const std::string outdir = args.get("outdir");
@@ -28,8 +29,9 @@ int main(int argc, char** argv) {
   // (a) Histogram of relative errors across every test tile.
   eval::MapEvaluator evaluator(ex.spec.vdd);
   for (std::size_t i = 0; i < ex.data.split.test.size(); ++i) {
-    const int raw_idx =
-        ex.data.samples[static_cast<std::size_t>(ex.data.split.test[i])].raw_index;
+    const int raw_idx = ex.data.samples[static_cast<std::size_t>(
+                                            ex.data.split.test[i])]
+                            .raw_index;
     evaluator.add(ex.test_predictions[i],
                   ex.raw.samples[static_cast<std::size_t>(raw_idx)].truth);
   }
@@ -50,17 +52,21 @@ int main(int argc, char** argv) {
     if (b < buckets) {
       std::printf("  %4.0f-%2.0f%% | %-50.*s %d\n", b * bucket * 100,
                   (b + 1) * bucket * 100, bar,
-                  "##################################################", hist[b]);
+                  "##################################################",
+                  hist[b]);
     } else {
       std::printf("   >%3.0f%%  | %-50.*s %d\n", buckets * bucket * 100, bar,
-                  "##################################################", hist[b]);
+                  "##################################################",
+                  hist[b]);
     }
   }
 
   // (b)-(d) maps from the first held-out vector.
-  const int raw_idx =
-      ex.data.samples[static_cast<std::size_t>(ex.data.split.test.front())].raw_index;
-  const util::MapF& truth = ex.raw.samples[static_cast<std::size_t>(raw_idx)].truth;
+  const int raw_idx = ex.data.samples[static_cast<std::size_t>(
+                                          ex.data.split.test.front())]
+                          .raw_index;
+  const util::MapF& truth =
+      ex.raw.samples[static_cast<std::size_t>(raw_idx)].truth;
   const util::MapF& pred = ex.test_predictions.front();
   const util::MapF re_map = eval::relative_error_map(pred, truth);
   const float hi = std::max(truth.max_value(), pred.max_value());

@@ -15,8 +15,9 @@ int main(int argc, char** argv) {
   using namespace pdnn;
   using namespace pdnn::bench;
 
-  util::ArgParser args("fig6_compression",
-                       "Reproduce Fig. 6 (error & runtime vs compression rate)");
+  util::ArgParser args(
+      "fig6_compression",
+      "Reproduce Fig. 6 (error & runtime vs compression rate)");
   add_common_flags(args);
   // Lighter per-point defaults: this bench retrains once per (design, rate).
   args.add_flag("vectors", "40", "test vectors per design (sweep default)");
@@ -116,8 +117,8 @@ int main(int argc, char** argv) {
         const int raw_idx =
             data.samples[static_cast<std::size_t>(idx)].raw_index;
         core::PredictionTiming timing;
-        const util::MapF pred =
-            pipeline.predict(traces[static_cast<std::size_t>(raw_idx)], &timing);
+        const util::MapF pred = pipeline.predict(
+            traces[static_cast<std::size_t>(raw_idx)], &timing);
         seconds += timing.total_seconds;
         kept_steps = timing.kept_steps;
         evaluator.add(pred,

@@ -3,16 +3,20 @@
 // Algorithm 1 cost, and the golden engine's per-step cost.
 #include <benchmark/benchmark.h>
 
+#include "core/dataset.hpp"
 #include "core/spatial.hpp"
 #include "core/temporal.hpp"
+#include "linalg/gemm.hpp"
 #include "nn/module.hpp"
 #include "nn/ops.hpp"
+#include "pdn/design.hpp"
 #include "pdn/power_grid.hpp"
 #include "sim/transient.hpp"
 #include "sparse/cholesky.hpp"
 #include "sparse/pcg.hpp"
 #include "sparse/random_walk.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "vectors/generator.hpp"
 
 namespace {
@@ -88,7 +92,11 @@ void BM_PcgSolve(benchmark::State& state) {
   state.SetLabel(std::string(ic0 ? "ic0" : "jacobi") + ", " +
                  std::to_string(a.rows()) + " nodes");
 }
-BENCHMARK(BM_PcgSolve)->Args({32, 0})->Args({32, 1})->Args({64, 0})->Args({64, 1});
+BENCHMARK(BM_PcgSolve)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
 
 void BM_RandomWalkNode(benchmark::State& state) {
   // Historical baseline [Qian et al. 2006]: per-node Monte-Carlo solve.
@@ -121,6 +129,93 @@ void BM_Conv2dForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2LL * hw * hw * 8 * 8 * 9);
 }
 BENCHMARK(BM_Conv2dForward)->Arg(32)->Arg(64)->Arg(128);
+
+// --- Thread-pool scaling (PR: deterministic parallel execution layer) ------
+//
+// Each _Threads benchmark resizes the global pool from its first range
+// argument, so running Arg(1)/Arg(2)/Arg(4) records the 1/2/4-thread scaling
+// curve in the JSON perf trajectory. UseRealTime(): with an internal pool,
+// wall clock is the quantity of interest, not summed CPU time.
+
+void BM_GemmNnThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  util::ThreadPool::set_global_threads(threads);
+  util::Rng rng(9);
+  std::vector<float> a(static_cast<std::size_t>(dim) * dim);
+  std::vector<float> b(static_cast<std::size_t>(dim) * dim);
+  std::vector<float> c(static_cast<std::size_t>(dim) * dim, 0.0f);
+  for (float& v : a) v = static_cast<float>(rng.normal());
+  for (float& v : b) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    linalg::gemm_nn(dim, dim, dim, 1.0f, a.data(), dim, b.data(), dim, 0.0f,
+                    c.data(), dim);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * dim * dim * dim);
+  state.SetLabel(std::to_string(dim) + "^3, " + std::to_string(threads) +
+                 " threads");
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_GemmNnThreads)
+    ->Args({1, 512})
+    ->Args({2, 512})
+    ->Args({4, 512})
+    ->UseRealTime();
+
+void BM_Conv2dBatchThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  util::ThreadPool::set_global_threads(threads);
+  constexpr int kBatch = 8;
+  constexpr int kHw = 64;
+  util::Rng rng(13);
+  nn::Conv2d conv(8, 8, 3, 1, 1, nn::PadMode::kReplicate, rng);
+  nn::Tensor x({kBatch, 8, kHw, kHw});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(rng.uniform());
+  }
+  nn::NoGradGuard guard;
+  for (auto _ : state) {
+    const nn::Var y = conv.forward(nn::Var(x));
+    benchmark::DoNotOptimize(y.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * 2LL * kHw * kHw * 8 *
+                          8 * 9);
+  state.SetLabel("batch " + std::to_string(kBatch) + ", " +
+                 std::to_string(threads) + " threads");
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_Conv2dBatchThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_DatasetGenD2Threads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  util::ThreadPool::set_global_threads(threads);
+  // Design D2 at the small scale; grid and factorization are prepared once
+  // (the per-vector transient solves are what the pool parallelizes).
+  static const pdn::PowerGrid* grid =
+      new pdn::PowerGrid(pdn::design_d2(pdn::Scale::kSmall));
+  static const sim::TransientSimulator* simulator =
+      new sim::TransientSimulator(*grid, {});
+  vectors::VectorGenParams params;
+  params.num_steps = 40;
+  constexpr int kVectors = 8;
+  for (auto _ : state) {
+    vectors::TestVectorGenerator gen(*grid, params, 21);
+    const core::RawDataset raw =
+        core::simulate_dataset(*grid, *simulator, gen, kVectors);
+    benchmark::DoNotOptimize(raw.samples.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kVectors);
+  state.SetLabel("D2 small, " + std::to_string(kVectors) + " vectors, " +
+                 std::to_string(threads) + " threads");
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_DatasetGenD2Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TemporalCompression(benchmark::State& state) {
   const int steps = static_cast<int>(state.range(0));

@@ -41,8 +41,8 @@ int main(int argc, char** argv) {
     for (int v = 0; v < num_vectors; ++v) {
       const auto result = simulator.simulate(gen.generate());
       mean_wn += result.tile_worst_noise.mean();
-      max_wn = std::max(max_wn,
-                        static_cast<double>(result.tile_worst_noise.max_value()));
+      max_wn = std::max(
+          max_wn, static_cast<double>(result.tile_worst_noise.max_value()));
       for (float n : result.tile_worst_noise.storage()) {
         ++tiles;
         if (n >= 0.1 * spec.vdd) ++hot;

@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
   eval::MapEvaluator pn_eval(ex.spec.vdd);
   double pn_seconds = 0.0;
   for (int idx : ex.data.split.test) {
-    const int raw_idx = ex.data.samples[static_cast<std::size_t>(idx)].raw_index;
+    const int raw_idx =
+        ex.data.samples[static_cast<std::size_t>(idx)].raw_index;
     const auto& sample = ex.raw.samples[static_cast<std::size_t>(raw_idx)];
     double seconds = 0.0;
     const util::MapF pred = powernet.predict(sample, &seconds);

@@ -55,7 +55,8 @@ int main() {
     auto spec = base_spec();
     spec.decap_per_node = decap_ff * 1e-15;
     const auto [max_wn, mean_wn] = measure(spec);
-    std::printf("%14.1f %12.1f %12.1f\n", decap_ff, max_wn * 1e3, mean_wn * 1e3);
+    std::printf("%14.1f %12.1f %12.1f\n", decap_ff, max_wn * 1e3,
+                mean_wn * 1e3);
   }
 
   std::printf("\n2) Package inductance sweep (decap = 4fF/node):\n");

@@ -77,8 +77,9 @@ int main(int argc, char** argv) {
       }
     }
   }
-  std::sort(hotspots.begin(), hotspots.end(),
-            [](const Hotspot& a, const Hotspot& b) { return a.noise > b.noise; });
+  std::sort(
+      hotspots.begin(), hotspots.end(),
+      [](const Hotspot& a, const Hotspot& b) { return a.noise > b.noise; });
 
   std::printf("%s: %zu hotspot tiles above %.0fmV (of %dx%d)\n\n",
               spec.name.c_str(), hotspots.size(), threshold * 1e3, truth.rows(),
@@ -88,8 +89,9 @@ int main(int argc, char** argv) {
     std::printf("  (%2d,%2d)  %6.1fmV  %s\n", hotspots[i].row, hotspots[i].col,
                 hotspots[i].noise * 1e3, hotspots[i].caught ? "yes" : "MISSED");
   }
-  const int caught = static_cast<int>(std::count_if(
-      hotspots.begin(), hotspots.end(), [](const Hotspot& h) { return h.caught; }));
+  const int caught = static_cast<int>(
+      std::count_if(hotspots.begin(), hotspots.end(),
+                    [](const Hotspot& h) { return h.caught; }));
   if (!hotspots.empty()) {
     std::printf("\ncaught %d/%zu hotspots (missing rate %.1f%%)\n", caught,
                 hotspots.size(),

@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
   util::ArgParser args("signoff_sweep",
                        "Screen a sign-off vector set with the trained model");
   args.add_flag("vectors", "40", "sign-off vectors to validate");
-  args.add_flag("screen-top", "5", "riskiest vectors confirmed with the golden engine");
+  args.add_flag("screen-top", "5",
+                "riskiest vectors confirmed with the golden engine");
   args.add_flag("vspec", "0.135", "noise spec v_spec in volts (Eq. 1)");
   if (!args.parse(argc, argv)) return 0;
   const int num_vectors = args.get_int("vectors");
@@ -103,8 +104,9 @@ int main(int argc, char** argv) {
   double confirm_seconds = 0.0;
   int violations = 0;
   for (int i = 0; i < std::min<int>(screen_top, num_vectors); ++i) {
-    const auto result = simulator.simulate(
-        traces[static_cast<std::size_t>(screened[static_cast<std::size_t>(i)].vector_id)]);
+    const int vec_id = screened[static_cast<std::size_t>(i)].vector_id;
+    const auto result =
+        simulator.simulate(traces[static_cast<std::size_t>(vec_id)]);
     confirm_seconds += result.solve_seconds;
     const float golden = result.tile_worst_noise.max_value();
     const bool violates = golden > vspec;

@@ -60,8 +60,8 @@ int RegressionTree::build(const std::vector<std::vector<float>>& x,
       left_sum += y[static_cast<std::size_t>(sorted[i])];
       const float cur =
           x[static_cast<std::size_t>(sorted[i])][static_cast<std::size_t>(f)];
-      const float nxt =
-          x[static_cast<std::size_t>(sorted[i + 1])][static_cast<std::size_t>(f)];
+      const float nxt = x[static_cast<std::size_t>(sorted[i + 1])]
+                         [static_cast<std::size_t>(f)];
       if (cur == nxt) continue;  // cannot split between equal values
       const double nl = static_cast<double>(i + 1);
       const double nr = n - nl;
@@ -80,8 +80,9 @@ int RegressionTree::build(const std::vector<std::vector<float>>& x,
 
   std::vector<int> left_rows, right_rows;
   for (int r : rows) {
-    if (x[static_cast<std::size_t>(r)][static_cast<std::size_t>(best_feature)] <=
-        best_threshold) {
+    const float v =
+        x[static_cast<std::size_t>(r)][static_cast<std::size_t>(best_feature)];
+    if (v <= best_threshold) {
       left_rows.push_back(r);
     } else {
       right_rows.push_back(r);
@@ -151,7 +152,8 @@ void GradientBoostedTrees::fit(const std::vector<std::vector<float>>& x,
   for (int t = 0; t < options_.trees; ++t) {
     for (int i = 0; i < n; ++i) {
       residual[static_cast<std::size_t>(i)] =
-          y[static_cast<std::size_t>(i)] - prediction[static_cast<std::size_t>(i)];
+          y[static_cast<std::size_t>(i)] -
+          prediction[static_cast<std::size_t>(i)];
     }
     std::vector<int> rows = all_rows;
     if (sample_count < n) {

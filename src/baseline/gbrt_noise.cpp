@@ -65,10 +65,13 @@ GbrtNoisePredictor::Stats GbrtNoisePredictor::compute_stats(
   return s;
 }
 
-float GbrtNoisePredictor::box_sum(const util::MapF& map, int r, int c, int rad) {
+float GbrtNoisePredictor::box_sum(const util::MapF& map, int r, int c,
+                                  int rad) {
   float acc = 0.0f;
-  for (int rr = std::max(0, r - rad); rr <= std::min(map.rows() - 1, r + rad); ++rr) {
-    for (int cc = std::max(0, c - rad); cc <= std::min(map.cols() - 1, c + rad); ++cc) {
+  const int r_hi = std::min(map.rows() - 1, r + rad);
+  const int c_hi = std::min(map.cols() - 1, c + rad);
+  for (int rr = std::max(0, r - rad); rr <= r_hi; ++rr) {
+    for (int cc = std::max(0, c - rad); cc <= c_hi; ++cc) {
       acc += map(rr, cc);
     }
   }

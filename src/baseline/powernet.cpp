@@ -13,7 +13,8 @@ namespace pdnn::baseline {
 
 PowerNetModel::PowerNetModel(const PowerNetOptions& options, util::Rng& rng)
     : conv1_(4, options.channels, 3, 1, 1, nn::PadMode::kZero, rng),
-      conv2_(options.channels, options.channels, 3, 1, 1, nn::PadMode::kZero, rng),
+      conv2_(options.channels, options.channels, 3, 1, 1, nn::PadMode::kZero,
+             rng),
       // Full-window convolution == fully connected layer over the crop.
       fc1_(options.channels, 2 * options.channels, options.window, 1, 0,
            nn::PadMode::kZero, rng),
@@ -164,7 +165,8 @@ double PowerNetRunner::train(const core::RawDataset& data,
         const int tc = rng_.uniform_int(0, cols - 1);
         const nn::Tensor input = tile_input(features[s], tr, tc);
         const nn::Tensor target =
-            nn::Tensor::scalar(sample.truth(tr, tc) / vdd_).reshaped({1, 1, 1, 1});
+            nn::Tensor::scalar(sample.truth(tr, tc) / vdd_)
+                .reshaped({1, 1, 1, 1});
         optimizer.zero_grad();
         nn::Var pred = model_.forward_tile(nn::Var(input));
         nn::Var loss = nn::l1_loss(pred, target, nn::Reduction::kSum);

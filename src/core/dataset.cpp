@@ -2,16 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 
 #include "core/spatial.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pdnn::core {
 
 RawDataset simulate_dataset(const pdn::PowerGrid& grid,
-                            sim::TransientSimulator& simulator,
+                            const sim::TransientSimulator& simulator,
                             vectors::TestVectorGenerator& generator,
                             int num_vectors,
                             const std::function<void(int, int)>& progress) {
@@ -21,18 +23,37 @@ RawDataset simulate_dataset(const pdn::PowerGrid& grid,
   ds.distance = distance_feature(grid);
 
   const SpatialCompressor spatial(grid);
-  ds.samples.reserve(static_cast<std::size_t>(num_vectors));
-  for (int i = 0; i < num_vectors; ++i) {
-    const vectors::CurrentTrace trace = generator.generate();
+
+  // Draw every trace up front from the generator's single stream — the same
+  // calls in the same order as a serial run, so the dataset is bit-identical
+  // to the serial one regardless of how the simulations below are scheduled.
+  std::vector<vectors::CurrentTrace> traces;
+  traces.reserve(static_cast<std::size_t>(num_vectors));
+  for (int i = 0; i < num_vectors; ++i) traces.push_back(generator.generate());
+
+  // Transient solves are independent per vector: the simulator's shared
+  // factorization is read-only during simulate(), and all mutable solver
+  // state lives on the calling thread. Fan the vectors out across the pool.
+  ds.samples.resize(static_cast<std::size_t>(num_vectors));
+  std::mutex progress_mu;
+  int completed = 0;
+  util::ThreadPool::global().run(num_vectors, [&](std::int64_t i) {
     RawSample sample;
-    sample.current_maps = spatial.current_maps(trace);
-    const sim::TransientResult result = simulator.simulate(trace);
+    sample.current_maps =
+        spatial.current_maps(traces[static_cast<std::size_t>(i)]);
+    const sim::TransientResult result =
+        simulator.simulate(traces[static_cast<std::size_t>(i)]);
     sample.truth = result.tile_worst_noise;
     sample.sim_seconds = result.solve_seconds;
-    ds.total_sim_seconds += result.solve_seconds;
-    ds.samples.push_back(std::move(sample));
-    if (progress) progress(i + 1, num_vectors);
-  }
+    ds.samples[static_cast<std::size_t>(i)] = std::move(sample);
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      progress(++completed, num_vectors);
+    }
+  });
+  // Fold timings in index order so the total is reproducible for a given
+  // set of per-vector measurements.
+  for (const RawSample& s : ds.samples) ds.total_sim_seconds += s.sim_seconds;
 
   // One normalization scale for the whole design.
   float scale = 0.0f;
@@ -125,8 +146,9 @@ SplitIndices expansion_split(const std::vector<std::vector<float>>& signatures,
     double lo = 0.0;
     double hi = 0.0;
     for (int i = 1; i < n; ++i) {
-      hi = std::max(hi, signature_distance(signatures[0],
-                                           signatures[static_cast<std::size_t>(i)]));
+      hi = std::max(
+          hi, signature_distance(signatures[0],
+                                 signatures[static_cast<std::size_t>(i)]));
     }
     hi = std::max(hi * 2.0, 1e-12);
     std::vector<int> best = admit_at_threshold(signatures, 0.0);

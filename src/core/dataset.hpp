@@ -38,10 +38,13 @@ struct RawDataset {
   double total_sim_seconds = 0.0;
 };
 
-/// Run the golden engine over `num_vectors` random vectors.
-/// `progress` (optional) is called after each vector with (done, total).
+/// Run the golden engine over `num_vectors` random vectors. Traces are drawn
+/// serially from `generator`'s stream, then the independent transient solves
+/// fan out across the global util::ThreadPool; the resulting dataset is
+/// bit-identical for any thread count. `progress` (optional) is called after
+/// each vector completes with (done, total), serialized under a mutex.
 RawDataset simulate_dataset(
-    const pdn::PowerGrid& grid, sim::TransientSimulator& simulator,
+    const pdn::PowerGrid& grid, const sim::TransientSimulator& simulator,
     vectors::TestVectorGenerator& generator, int num_vectors,
     const std::function<void(int, int)>& progress = {});
 

@@ -21,7 +21,8 @@ nn::Tensor distance_feature(const pdn::PowerGrid& grid) {
   float* out = d.data();
   for (int bi = 0; bi < b; ++bi) {
     for (int tr = 0; tr < m; ++tr) {
-      const double dr = grid.tile_center_row(tr) - bumps[static_cast<std::size_t>(bi)].row;
+      const double dr =
+          grid.tile_center_row(tr) - bumps[static_cast<std::size_t>(bi)].row;
       for (int tc = 0; tc < n; ++tc) {
         const double dc =
             grid.tile_center_col(tc) - bumps[static_cast<std::size_t>(bi)].col;
@@ -48,7 +49,9 @@ nn::Tensor stack_current_maps(const std::vector<util::MapF>& maps,
     const util::MapF& map = maps[static_cast<std::size_t>(idx)];
     PDN_CHECK(map.rows() == m && map.cols() == n,
               "stack_current_maps: inconsistent map shapes");
-    for (std::size_t i = 0; i < map.size(); ++i) dst[i] = map.storage()[i] * inv;
+    for (std::size_t i = 0; i < map.size(); ++i) {
+      dst[i] = map.storage()[i] * inv;
+    }
     dst += map.size();
   }
   return t;

@@ -13,7 +13,8 @@ SpatialCompressor::SpatialCompressor(const pdn::PowerGrid& grid)
   const auto& loads = grid.load_nodes();
   load_tile_.reserve(loads.size());
   for (int node : loads) {
-    load_tile_.push_back(grid.tile_row_of(node) * cols_ + grid.tile_col_of(node));
+    load_tile_.push_back(grid.tile_row_of(node) * cols_ +
+                         grid.tile_col_of(node));
   }
 }
 
@@ -42,8 +43,9 @@ std::vector<util::MapF> SpatialCompressor::current_maps(
 
 util::MapF SpatialCompressor::tile_noise(
     const std::vector<float>& node_worst_noise) const {
-  PDN_CHECK(static_cast<int>(node_worst_noise.size()) >= grid_.num_bottom_nodes(),
-            "SpatialCompressor: node noise vector too small");
+  PDN_CHECK(
+      static_cast<int>(node_worst_noise.size()) >= grid_.num_bottom_nodes(),
+      "SpatialCompressor: node noise vector too small");
   util::MapF map(rows_, cols_, 0.0f);
   for (int node = 0; node < grid_.num_bottom_nodes(); ++node) {
     float& cell = map(grid_.tile_row_of(node), grid_.tile_col_of(node));

@@ -25,7 +25,8 @@ class SpatialCompressor {
   int tile_cols() const { return cols_; }
 
   /// Per-time-step tile current maps I[k] (amperes; loads summed per tile).
-  std::vector<util::MapF> current_maps(const vectors::CurrentTrace& trace) const;
+  std::vector<util::MapF> current_maps(
+      const vectors::CurrentTrace& trace) const;
 
   /// One tile current map for a single time step.
   util::MapF current_map_at(const vectors::CurrentTrace& trace, int step) const;

@@ -31,7 +31,8 @@ TemporalCompressionResult compress_temporal(
   PDN_CHECK(n > 0, "compress_temporal: empty sequence");
   PDN_CHECK(options.rate > 0.0 && options.rate < 1.0,
             "compress_temporal: rate must be in (0,1)");
-  PDN_CHECK(options.rate_step > 0.0, "compress_temporal: rate_step must be > 0");
+  PDN_CHECK(options.rate_step > 0.0,
+            "compress_temporal: rate_step must be > 0");
 
   TemporalCompressionResult result;
   result.full_mu3sigma = mu3sigma(total_currents);
@@ -87,7 +88,8 @@ TemporalCompressionResult compress_temporal(
   return result;
 }
 
-std::vector<double> total_current_sequence(const std::vector<util::MapF>& maps) {
+std::vector<double> total_current_sequence(
+    const std::vector<util::MapF>& maps) {
   std::vector<double> s;
   s.reserve(maps.size());
   for (const util::MapF& m : maps) s.push_back(m.sum());
@@ -101,9 +103,8 @@ std::vector<int> uniform_subsample(int num_steps, double rate) {
   std::vector<int> idx;
   idx.reserve(static_cast<std::size_t>(keep));
   for (int i = 0; i < keep; ++i) {
-    idx.push_back(static_cast<int>(
-        std::min<std::int64_t>(num_steps - 1,
-                               static_cast<std::int64_t>(i) * num_steps / keep)));
+    idx.push_back(static_cast<int>(std::min<std::int64_t>(
+        num_steps - 1, static_cast<std::int64_t>(i) * num_steps / keep)));
   }
   idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
   return idx;

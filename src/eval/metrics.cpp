@@ -59,9 +59,10 @@ HotspotStats MapEvaluator::hotspots() const {
       if (predicted_hot) ++false_alarm;
     }
   }
-  h.missing_rate = h.hotspots > 0
-                       ? static_cast<double>(missed) / static_cast<double>(h.hotspots)
-                       : 0.0;
+  h.missing_rate =
+      h.hotspots > 0
+          ? static_cast<double>(missed) / static_cast<double>(h.hotspots)
+          : 0.0;
   h.false_alarm_rate =
       negatives > 0 ? static_cast<double>(false_alarm) / negatives : 0.0;
   h.hotspot_ratio =
@@ -81,14 +82,16 @@ double percentile(std::vector<double> values, double p) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
-double roc_auc(const std::vector<float>& scores, const std::vector<char>& labels) {
+double roc_auc(const std::vector<float>& scores,
+               const std::vector<char>& labels) {
   PDN_CHECK(scores.size() == labels.size(), "roc_auc: size mismatch");
   // Rank-sum formulation with average ranks for ties.
   const std::size_t n = scores.size();
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
 
   double rank_sum_pos = 0.0;
   std::int64_t positives = 0;
@@ -96,7 +99,8 @@ double roc_auc(const std::vector<float>& scores, const std::vector<char>& labels
   while (i < n) {
     std::size_t j = i;
     while (j < n && scores[order[j]] == scores[order[i]]) ++j;
-    const double avg_rank = 0.5 * (static_cast<double>(i) + static_cast<double>(j - 1)) + 1.0;
+    const double avg_rank =
+        0.5 * (static_cast<double>(i) + static_cast<double>(j - 1)) + 1.0;
     for (std::size_t k = i; k < j; ++k) {
       if (labels[order[k]]) {
         rank_sum_pos += avg_rank;

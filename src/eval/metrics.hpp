@@ -61,7 +61,8 @@ double percentile(std::vector<double> values, double p);
 
 /// Mann-Whitney ROC AUC for binary labels given scores. Returns 0.5 when a
 /// class is absent. Ties contribute 1/2.
-double roc_auc(const std::vector<float>& scores, const std::vector<char>& labels);
+double roc_auc(const std::vector<float>& scores,
+               const std::vector<char>& labels);
 
 /// Relative-error map between two maps (element-wise |p - t| / max(t, eps)).
 util::MapF relative_error_map(const util::MapF& predicted,

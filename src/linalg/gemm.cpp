@@ -1,6 +1,9 @@
 #include "linalg/gemm.hpp"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "util/thread_pool.hpp"
 
 namespace pdnn::linalg {
 
@@ -10,6 +13,12 @@ namespace {
 // (kKB x n row-slab) stay L1/L2 resident on typical x86 cores.
 constexpr int kMB = 64;
 constexpr int kKB = 256;
+
+// Minimum multiply-add count before a kernel fans out to the thread pool;
+// below this the dispatch overhead dominates. Parallelization is over
+// disjoint row panels of C with a fixed per-row accumulation order, so the
+// threshold (and the thread count) never changes the computed bits.
+constexpr std::int64_t kParallelFlops = std::int64_t{1} << 20;
 
 void scale_rows(int m, int n, float beta, float* c, int ldc) {
   if (beta == 1.0f) return;
@@ -23,13 +32,33 @@ void scale_rows(int m, int n, float beta, float* c, int ldc) {
   }
 }
 
+/// Run body(panel) over ceil(m / kMB) row panels, on the pool when the
+/// problem is big enough and serially otherwise. Each panel owns rows
+/// [panel*kMB, min(m, panel*kMB + kMB)) of C exclusively.
+template <typename Body>
+void for_each_row_panel(int m, int n, int k, const Body& body) {
+  const std::int64_t panels = (m + kMB - 1) / kMB;
+  const std::int64_t flops =
+      static_cast<std::int64_t>(m) * n * static_cast<std::int64_t>(k);
+  if (panels > 1 && flops >= kParallelFlops) {
+    util::ThreadPool::global().run(
+        panels, [&](std::int64_t panel) { body(static_cast<int>(panel)); });
+  } else {
+    for (std::int64_t panel = 0; panel < panels; ++panel) {
+      body(static_cast<int>(panel));
+    }
+  }
+}
+
 }  // namespace
 
 void gemm_nn(int m, int n, int k, float alpha, const float* a, int lda,
              const float* b, int ldb, float beta, float* c, int ldc) {
-  scale_rows(m, n, beta, c, ldc);
-  for (int i0 = 0; i0 < m; i0 += kMB) {
+  for_each_row_panel(m, n, k, [&](int panel) {
+    const int i0 = panel * kMB;
     const int i1 = std::min(m, i0 + kMB);
+    scale_rows(i1 - i0, n, beta, c + static_cast<std::ptrdiff_t>(i0) * ldc,
+               ldc);
     for (int p0 = 0; p0 < k; p0 += kKB) {
       const int p1 = std::min(k, p0 + kKB);
       for (int i = i0; i < i1; ++i) {
@@ -44,14 +73,16 @@ void gemm_nn(int m, int n, int k, float alpha, const float* a, int lda,
         }
       }
     }
-  }
+  });
 }
 
 void gemm_nt(int m, int n, int k, float alpha, const float* a, int lda,
              const float* b, int ldb, float beta, float* c, int ldc) {
-  scale_rows(m, n, beta, c, ldc);
-  for (int i0 = 0; i0 < m; i0 += kMB) {
+  for_each_row_panel(m, n, k, [&](int panel) {
+    const int i0 = panel * kMB;
     const int i1 = std::min(m, i0 + kMB);
+    scale_rows(i1 - i0, n, beta, c + static_cast<std::ptrdiff_t>(i0) * ldc,
+               ldc);
     for (int j = 0; j < n; ++j) {
       const float* brow = b + static_cast<std::ptrdiff_t>(j) * ldb;
       for (int i = i0; i < i1; ++i) {
@@ -62,25 +93,33 @@ void gemm_nt(int m, int n, int k, float alpha, const float* a, int lda,
         c[static_cast<std::ptrdiff_t>(i) * ldc + j] += alpha * acc;
       }
     }
-  }
+  });
 }
 
 void gemm_tn(int m, int n, int k, float alpha, const float* a, int lda,
              const float* b, int ldb, float beta, float* c, int ldc) {
-  scale_rows(m, n, beta, c, ldc);
-  for (int p0 = 0; p0 < k; p0 += kKB) {
-    const int p1 = std::min(k, p0 + kKB);
-    for (int p = p0; p < p1; ++p) {
-      const float* arow = a + static_cast<std::ptrdiff_t>(p) * lda;  // A[p, :]
-      const float* brow = b + static_cast<std::ptrdiff_t>(p) * ldb;  // B[p, :]
-      for (int i = 0; i < m; ++i) {
-        const float api = alpha * arow[i];
-        if (api == 0.0f) continue;
-        float* crow = c + static_cast<std::ptrdiff_t>(i) * ldc;
-        for (int j = 0; j < n; ++j) crow[j] += api * brow[j];
+  // Row panels of C instead of the historical k-outer loop so panels are
+  // disjoint across threads; each C row still accumulates its k terms in
+  // ascending p order, exactly as before.
+  for_each_row_panel(m, n, k, [&](int panel) {
+    const int i0 = panel * kMB;
+    const int i1 = std::min(m, i0 + kMB);
+    scale_rows(i1 - i0, n, beta, c + static_cast<std::ptrdiff_t>(i0) * ldc,
+               ldc);
+    for (int p0 = 0; p0 < k; p0 += kKB) {
+      const int p1 = std::min(k, p0 + kKB);
+      for (int p = p0; p < p1; ++p) {
+        const float* arow = a + static_cast<std::ptrdiff_t>(p) * lda;  // A[p,:]
+        const float* brow = b + static_cast<std::ptrdiff_t>(p) * ldb;  // B[p,:]
+        for (int i = i0; i < i1; ++i) {
+          const float api = alpha * arow[i];
+          if (api == 0.0f) continue;
+          float* crow = c + static_cast<std::ptrdiff_t>(i) * ldc;
+          for (int j = 0; j < n; ++j) crow[j] += api * brow[j];
+        }
       }
     }
-  }
+  });
 }
 
 void axpy(int n, float alpha, const float* x, float* y) {

@@ -4,8 +4,10 @@
 // im2col formulation of conv2d maps forward, weight-gradient, and
 // input-gradient passes onto gemm_nn, gemm_nt, and gemm_tn respectively.
 // They are cache-blocked and written so the inner loops auto-vectorize; on a
-// single AVX2 core they sustain several GFLOP/s, which is sufficient for the
-// scaled experiments in this repository.
+// single AVX2 core they sustain several GFLOP/s. Sufficiently large problems
+// additionally fan out across the global util::ThreadPool by disjoint row
+// panels of C. Every C element accumulates its k terms in a fixed order, so
+// results are bit-identical for any thread count (including 1).
 #pragma once
 
 #include <cstddef>

@@ -5,13 +5,14 @@
 
 #include "linalg/gemm.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pdnn::nn {
 
 namespace {
 
 /// Lower one sample (C x H x W) into columns:
-///   col[(c*kh + ki)*kw + kj][oh*wo + ow] = src[c][oh*s - p + ki][ow*s - p + kj]
+///   col[(c*kh+ki)*kw + kj][oh*wo + ow] = src[c][oh*s - p + ki][ow*s - p + kj]
 /// with the boundary handled per `mode`. The column grid (ho x wo) is passed
 /// in explicitly so the same routine serves conv forward and the transposed
 /// convolution's backward, where the grid is the *input* geometry.
@@ -23,7 +24,8 @@ void im2col(const float* src, int c, int h, int w, int kh, int kw, int stride,
     for (int ki = 0; ki < kh; ++ki) {
       for (int kj = 0; kj < kw; ++kj) {
         float* dst =
-            col + (static_cast<std::int64_t>(ch) * kh * kw + ki * kw + kj) * owo;
+            col +
+            (static_cast<std::int64_t>(ch) * kh * kw + ki * kw + kj) * owo;
         for (int oh = 0; oh < ho; ++oh) {
           int ih = oh * stride - pad + ki;
           bool row_oob = ih < 0 || ih >= h;
@@ -67,7 +69,8 @@ void col2im_acc(const float* col, int c, int h, int w, int kh, int kw,
     for (int ki = 0; ki < kh; ++ki) {
       for (int kj = 0; kj < kw; ++kj) {
         const float* src =
-            col + (static_cast<std::int64_t>(ch) * kh * kw + ki * kw + kj) * owo;
+            col +
+            (static_cast<std::int64_t>(ch) * kh * kw + ki * kw + kj) * owo;
         for (int oh = 0; oh < ho; ++oh) {
           int ih = oh * stride - pad + ki;
           if (ih < 0 || ih >= h) {
@@ -122,21 +125,26 @@ Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad,
   const std::int64_t owo = static_cast<std::int64_t>(ho) * wo;
   Tensor out({n, cout, ho, wo});
 
-  std::vector<float>& col = scratch_a();
-  col.resize(static_cast<std::size_t>(ckk) * owo);
-  for (int bidx = 0; bidx < n; ++bidx) {
-    const float* src = xv.data() + static_cast<std::int64_t>(bidx) * cin * h * wd;
-    float* dst = out.data() + static_cast<std::int64_t>(bidx) * cout * owo;
-    im2col(src, cin, h, wd, kh, kw, stride, pad, mode, ho, wo, col.data());
-    linalg::gemm_nn(cout, static_cast<int>(owo), ckk, 1.0f, wv.data(), ckk,
-                    col.data(), static_cast<int>(owo), 0.0f, dst,
-                    static_cast<int>(owo));
-    for (int co = 0; co < cout; ++co) {
-      const float bias = bv.data()[co];
-      float* row = dst + static_cast<std::int64_t>(co) * owo;
-      for (std::int64_t i = 0; i < owo; ++i) row[i] += bias;
+  // Samples write disjoint output slices, so the batch fans out across the
+  // pool; each worker lowers into its own thread_local scratch. Single-sample
+  // batches fall through to the pool inside the gemm instead.
+  util::parallel_for(n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    std::vector<float>& col = scratch_a();
+    col.resize(static_cast<std::size_t>(ckk) * owo);
+    for (std::int64_t bidx = b0; bidx < b1; ++bidx) {
+      const float* src = xv.data() + bidx * cin * h * wd;
+      float* dst = out.data() + bidx * cout * owo;
+      im2col(src, cin, h, wd, kh, kw, stride, pad, mode, ho, wo, col.data());
+      linalg::gemm_nn(cout, static_cast<int>(owo), ckk, 1.0f, wv.data(), ckk,
+                      col.data(), static_cast<int>(owo), 0.0f, dst,
+                      static_cast<int>(owo));
+      for (int co = 0; co < cout; ++co) {
+        const float bias = bv.data()[co];
+        float* row = dst + static_cast<std::int64_t>(co) * owo;
+        for (std::int64_t i = 0; i < owo; ++i) row[i] += bias;
+      }
     }
-  }
+  });
 
   auto backward = [xv, wv, stride, pad, mode, n, cin, h, wd, cout, kh, kw, ho,
                    wo, ckk, owo](Node& node) {
@@ -145,47 +153,74 @@ Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad,
     const NodePtr& pb = node.parents[2];
     const float* gy = node.grad.data();
 
-    if (pb->requires_grad) {
-      float* gb = pb->ensure_grad().data();
-      for (int bidx = 0; bidx < n; ++bidx) {
-        for (int co = 0; co < cout; ++co) {
-          const float* row =
-              gy + (static_cast<std::int64_t>(bidx) * cout + co) * owo;
-          double acc = 0.0;
-          for (std::int64_t i = 0; i < owo; ++i) acc += row[i];
-          gb[co] += static_cast<float>(acc);
-        }
-      }
-    }
+    const bool need_b = pb->requires_grad;
+    const bool need_w = pw->requires_grad;
+    const bool need_x = px->requires_grad;
+    if (!need_b && !need_w && !need_x) return;
 
-    std::vector<float>& col = scratch_a();
-    std::vector<float>& dcol = scratch_b();
-    if (pw->requires_grad || px->requires_grad) {
-      col.resize(static_cast<std::size_t>(ckk) * owo);
-      dcol.resize(static_cast<std::size_t>(ckk) * owo);
-      for (int bidx = 0; bidx < n; ++bidx) {
-        const float* gy_b =
-            gy + static_cast<std::int64_t>(bidx) * cout * owo;
-        if (pw->requires_grad) {
-          const float* src =
-              xv.data() + static_cast<std::int64_t>(bidx) * cin * h * wd;
-          im2col(src, cin, h, wd, kh, kw, stride, pad, mode, ho, wo, col.data());
-          // dW += gy_b (Cout x OWO) * col^T (OWO x CKK).
+    // dX slices are disjoint per sample, but dW and db reduce across the
+    // batch. The batch is cut into a fixed number of chunks (independent of
+    // the thread count); each chunk accumulates float partials in sample
+    // order, and the partials fold into the grads in chunk order — the same
+    // bits for 1 or N pool threads.
+    float* gb = need_b ? pb->ensure_grad().data() : nullptr;
+    float* gw = need_w ? pw->ensure_grad().data() : nullptr;
+    float* gx0 = need_x ? px->ensure_grad().data() : nullptr;
+    const std::int64_t chunks = util::reduction_chunks(n);
+    const std::int64_t wsz = static_cast<std::int64_t>(cout) * ckk;
+    std::vector<float> db_part(
+        need_b ? static_cast<std::size_t>(chunks) * cout : 0, 0.0f);
+    std::vector<float> dw_part(
+        need_w ? static_cast<std::size_t>(chunks * wsz) : 0, 0.0f);
+
+    util::ThreadPool::global().run(chunks, [&](std::int64_t ci) {
+      const util::ChunkRange r = util::reduction_range(n, chunks, ci);
+      float* db = need_b ? db_part.data() + ci * cout : nullptr;
+      float* dw = need_w ? dw_part.data() + ci * wsz : nullptr;
+      std::vector<float>& col = scratch_a();
+      std::vector<float>& dcol = scratch_b();
+      if (need_w || need_x) {
+        col.resize(static_cast<std::size_t>(ckk) * owo);
+        dcol.resize(static_cast<std::size_t>(ckk) * owo);
+      }
+      for (std::int64_t bidx = r.begin; bidx < r.end; ++bidx) {
+        const float* gy_b = gy + bidx * cout * owo;
+        if (need_b) {
+          for (int co = 0; co < cout; ++co) {
+            const float* row = gy_b + static_cast<std::int64_t>(co) * owo;
+            double acc = 0.0;
+            for (std::int64_t i = 0; i < owo; ++i) acc += row[i];
+            db[co] += static_cast<float>(acc);
+          }
+        }
+        if (need_w) {
+          const float* src = xv.data() + bidx * cin * h * wd;
+          im2col(src, cin, h, wd, kh, kw, stride, pad, mode, ho, wo,
+                 col.data());
+          // dW_chunk += gy_b (Cout x OWO) * col^T (OWO x CKK).
           linalg::gemm_nt(cout, ckk, static_cast<int>(owo), 1.0f, gy_b,
                           static_cast<int>(owo), col.data(),
-                          static_cast<int>(owo), 1.0f,
-                          pw->ensure_grad().data(), ckk);
+                          static_cast<int>(owo), 1.0f, dw, ckk);
         }
-        if (px->requires_grad) {
+        if (need_x) {
           // dcol = W^T (CKK x Cout) * gy_b (Cout x OWO).
           linalg::gemm_tn(ckk, static_cast<int>(owo), cout, 1.0f, wv.data(),
                           ckk, gy_b, static_cast<int>(owo), 0.0f, dcol.data(),
                           static_cast<int>(owo));
-          float* gx = px->ensure_grad().data() +
-                      static_cast<std::int64_t>(bidx) * cin * h * wd;
-          col2im_acc(dcol.data(), cin, h, wd, kh, kw, stride, pad, mode, ho, wo,
-                     gx);
+          col2im_acc(dcol.data(), cin, h, wd, kh, kw, stride, pad, mode, ho,
+                     wo, gx0 + bidx * cin * h * wd);
         }
+      }
+    });
+
+    for (std::int64_t ci = 0; ci < chunks; ++ci) {
+      if (need_b) {
+        const float* db = db_part.data() + ci * cout;
+        for (int co = 0; co < cout; ++co) gb[co] += db[co];
+      }
+      if (need_w) {
+        const float* dw = dw_part.data() + ci * wsz;
+        for (std::int64_t i = 0; i < wsz; ++i) gw[i] += dw[i];
       }
     }
   };
@@ -218,25 +253,28 @@ Var conv_transpose2d(const Var& x, const Var& w, const Var& b, int stride,
   const std::int64_t out_hw = static_cast<std::int64_t>(ho) * wo;
   Tensor out({n, cout, ho, wo});
 
-  std::vector<float>& col = scratch_a();
-  col.resize(static_cast<std::size_t>(ckk) * hw);
-  for (int bidx = 0; bidx < n; ++bidx) {
-    const float* src = xv.data() + static_cast<std::int64_t>(bidx) * cin * hw;
-    float* dst = out.data() + static_cast<std::int64_t>(bidx) * cout * out_hw;
-    // col (CKK x HW) = W^T (CKK x Cin) * x (Cin x HW); W viewed Cin x CKK.
-    linalg::gemm_tn(ckk, static_cast<int>(hw), cin, 1.0f, wv.data(), ckk, src,
-                    static_cast<int>(hw), 0.0f, col.data(),
-                    static_cast<int>(hw));
-    // Scatter columns into the output image: image geometry (ho x wo),
-    // column grid = input geometry (h x wd). Zero padding by construction.
-    col2im_acc(col.data(), cout, ho, wo, kh, kw, stride, pad, PadMode::kZero, h,
-               wd, dst);
-    for (int co = 0; co < cout; ++co) {
-      const float bias = bv.data()[co];
-      float* row = dst + static_cast<std::int64_t>(co) * out_hw;
-      for (std::int64_t i = 0; i < out_hw; ++i) row[i] += bias;
+  // Per-sample output slices are disjoint; fan the batch out across the pool.
+  util::parallel_for(n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    std::vector<float>& col = scratch_a();
+    col.resize(static_cast<std::size_t>(ckk) * hw);
+    for (std::int64_t bidx = b0; bidx < b1; ++bidx) {
+      const float* src = xv.data() + bidx * cin * hw;
+      float* dst = out.data() + bidx * cout * out_hw;
+      // col (CKK x HW) = W^T (CKK x Cin) * x (Cin x HW); W viewed Cin x CKK.
+      linalg::gemm_tn(ckk, static_cast<int>(hw), cin, 1.0f, wv.data(), ckk,
+                      src, static_cast<int>(hw), 0.0f, col.data(),
+                      static_cast<int>(hw));
+      // Scatter columns into the output image: image geometry (ho x wo),
+      // column grid = input geometry (h x wd). Zero padding by construction.
+      col2im_acc(col.data(), cout, ho, wo, kh, kw, stride, pad, PadMode::kZero,
+                 h, wd, dst);
+      for (int co = 0; co < cout; ++co) {
+        const float bias = bv.data()[co];
+        float* row = dst + static_cast<std::int64_t>(co) * out_hw;
+        for (std::int64_t i = 0; i < out_hw; ++i) row[i] += bias;
+      }
     }
-  }
+  });
 
   auto backward = [xv, wv, stride, pad, n, cin, h, wd, cout, kh, kw, ho, wo,
                    ckk, hw, out_hw](Node& node) {
@@ -245,44 +283,68 @@ Var conv_transpose2d(const Var& x, const Var& w, const Var& b, int stride,
     const NodePtr& pb = node.parents[2];
     const float* gy = node.grad.data();
 
-    if (pb->requires_grad) {
-      float* gb = pb->ensure_grad().data();
-      for (int bidx = 0; bidx < n; ++bidx) {
-        for (int co = 0; co < cout; ++co) {
-          const float* row =
-              gy + (static_cast<std::int64_t>(bidx) * cout + co) * out_hw;
-          double acc = 0.0;
-          for (std::int64_t i = 0; i < out_hw; ++i) acc += row[i];
-          gb[co] += static_cast<float>(acc);
+    const bool need_b = pb->requires_grad;
+    const bool need_w = pw->requires_grad;
+    const bool need_x = px->requires_grad;
+    if (!need_b && !need_w && !need_x) return;
+
+    // Same deterministic chunked reduction as conv2d: fixed chunk partition,
+    // per-chunk partials for dW/db, chunk-order fold.
+    float* gb = need_b ? pb->ensure_grad().data() : nullptr;
+    float* gw = need_w ? pw->ensure_grad().data() : nullptr;
+    float* gx0 = need_x ? px->ensure_grad().data() : nullptr;
+    const std::int64_t chunks = util::reduction_chunks(n);
+    const std::int64_t wsz = static_cast<std::int64_t>(cin) * ckk;
+    std::vector<float> db_part(
+        need_b ? static_cast<std::size_t>(chunks) * cout : 0, 0.0f);
+    std::vector<float> dw_part(
+        need_w ? static_cast<std::size_t>(chunks * wsz) : 0, 0.0f);
+
+    util::ThreadPool::global().run(chunks, [&](std::int64_t ci) {
+      const util::ChunkRange r = util::reduction_range(n, chunks, ci);
+      float* db = need_b ? db_part.data() + ci * cout : nullptr;
+      float* dw = need_w ? dw_part.data() + ci * wsz : nullptr;
+      std::vector<float>& col = scratch_a();
+      if (need_w || need_x) col.resize(static_cast<std::size_t>(ckk) * hw);
+      for (std::int64_t bidx = r.begin; bidx < r.end; ++bidx) {
+        const float* gy_b = gy + bidx * cout * out_hw;
+        if (need_b) {
+          for (int co = 0; co < cout; ++co) {
+            const float* row = gy_b + static_cast<std::int64_t>(co) * out_hw;
+            double acc = 0.0;
+            for (std::int64_t i = 0; i < out_hw; ++i) acc += row[i];
+            db[co] += static_cast<float>(acc);
+          }
+        }
+        if (!need_w && !need_x) continue;
+        // Lower the output gradient over the *input* grid: the adjoint of
+        // the forward scatter.
+        im2col(gy_b, cout, ho, wo, kh, kw, stride, pad, PadMode::kZero, h, wd,
+               col.data());
+        if (need_x) {
+          // dX (Cin x HW) += W (Cin x CKK) * col (CKK x HW).
+          linalg::gemm_nn(cin, static_cast<int>(hw), ckk, 1.0f, wv.data(),
+                          ckk, col.data(), static_cast<int>(hw), 1.0f,
+                          gx0 + bidx * cin * hw, static_cast<int>(hw));
+        }
+        if (need_w) {
+          // dW_chunk (Cin x CKK) += x (Cin x HW) * col^T (HW x CKK).
+          const float* src = xv.data() + bidx * cin * hw;
+          linalg::gemm_nt(cin, ckk, static_cast<int>(hw), 1.0f, src,
+                          static_cast<int>(hw), col.data(),
+                          static_cast<int>(hw), 1.0f, dw, ckk);
         }
       }
-    }
+    });
 
-    if (!pw->requires_grad && !px->requires_grad) return;
-    std::vector<float>& col = scratch_a();
-    col.resize(static_cast<std::size_t>(ckk) * hw);
-    for (int bidx = 0; bidx < n; ++bidx) {
-      const float* gy_b = gy + static_cast<std::int64_t>(bidx) * cout * out_hw;
-      // Lower the output gradient over the *input* grid: the adjoint of the
-      // forward scatter.
-      im2col(gy_b, cout, ho, wo, kh, kw, stride, pad, PadMode::kZero, h, wd,
-             col.data());
-      if (px->requires_grad) {
-        // dX (Cin x HW) += W (Cin x CKK) * col (CKK x HW).
-        float* gx = px->ensure_grad().data() +
-                    static_cast<std::int64_t>(bidx) * cin * hw;
-        linalg::gemm_nn(cin, static_cast<int>(hw), ckk, 1.0f, wv.data(), ckk,
-                        col.data(), static_cast<int>(hw), 1.0f, gx,
-                        static_cast<int>(hw));
+    for (std::int64_t ci = 0; ci < chunks; ++ci) {
+      if (need_b) {
+        const float* db = db_part.data() + ci * cout;
+        for (int co = 0; co < cout; ++co) gb[co] += db[co];
       }
-      if (pw->requires_grad) {
-        // dW (Cin x CKK) += x (Cin x HW) * col^T (HW x CKK).
-        const float* src =
-            xv.data() + static_cast<std::int64_t>(bidx) * cin * hw;
-        linalg::gemm_nt(cin, ckk, static_cast<int>(hw), 1.0f, src,
-                        static_cast<int>(hw), col.data(),
-                        static_cast<int>(hw), 1.0f, pw->ensure_grad().data(),
-                        ckk);
+      if (need_w) {
+        const float* dw = dw_part.data() + ci * wsz;
+        for (std::int64_t i = 0; i < wsz; ++i) gw[i] += dw[i];
       }
     }
   };

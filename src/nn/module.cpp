@@ -28,8 +28,8 @@ std::int64_t Module::num_parameters() {
 }
 
 Parameter* Module::register_parameter(std::string name, Tensor init) {
-  own_.push_back(std::make_unique<Parameter>(
-      Parameter{std::move(name), Var(std::move(init), /*requires_grad=*/true)}));
+  own_.push_back(std::make_unique<Parameter>(Parameter{
+      std::move(name), Var(std::move(init), /*requires_grad=*/true)}));
   return own_.back().get();
 }
 

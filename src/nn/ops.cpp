@@ -200,7 +200,8 @@ Var batch_extreme(const Var& x, bool take_max) {
   const std::int64_t inner = static_cast<std::int64_t>(c) * plane;
 
   Tensor out({1, c, xv.h(), xv.w()});
-  auto arg = std::make_shared<std::vector<int>>(static_cast<std::size_t>(inner), 0);
+  auto arg =
+      std::make_shared<std::vector<int>>(static_cast<std::size_t>(inner), 0);
   const float* src = xv.data();
   float* dst = out.data();
   for (std::int64_t i = 0; i < inner; ++i) dst[i] = src[i];
@@ -222,8 +223,8 @@ Var batch_extreme(const Var& x, bool take_max) {
     const float* gy = node.grad.data();
     float* g = gx.data();
     for (std::int64_t i = 0; i < inner; ++i) {
-      g[static_cast<std::int64_t>((*arg)[static_cast<std::size_t>(i)]) * inner + i] +=
-          gy[i];
+      const std::int64_t b = (*arg)[static_cast<std::size_t>(i)];
+      g[b * inner + i] += gy[i];
     }
   });
 }

@@ -8,7 +8,11 @@ namespace pdnn::nn {
 
 Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
            float eps)
-    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
   PDN_CHECK(!params_.empty(), "Adam: no parameters");
   m_.reserve(params_.size());
   v_.reserve(params_.size());

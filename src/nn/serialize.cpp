@@ -48,13 +48,14 @@ void load_parameters(std::vector<Parameter*> params, const std::string& path) {
   PDN_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
             "load_parameters: bad magic in " + path);
   const std::uint32_t count = read_u32(in);
-  PDN_CHECK(count == params.size(), "load_parameters: parameter count mismatch");
+  PDN_CHECK(count == params.size(),
+            "load_parameters: parameter count mismatch");
   for (Parameter* p : params) {
     const std::uint32_t name_len = read_u32(in);
     std::string name(name_len, '\0');
     in.read(name.data(), name_len);
-    PDN_CHECK(name == p->name, "load_parameters: expected parameter " + p->name +
-                                   ", found " + name);
+    PDN_CHECK(name == p->name, "load_parameters: expected parameter " +
+                                   p->name + ", found " + name);
     const std::uint32_t ndim = read_u32(in);
     Tensor& t = p->var.mutable_value();
     PDN_CHECK(static_cast<int>(ndim) == t.ndim(),

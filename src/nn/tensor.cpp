@@ -24,7 +24,9 @@ Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
       static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
 }
 
-Tensor Tensor::zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+Tensor Tensor::zeros(std::vector<int> shape) {
+  return Tensor(std::move(shape));
+}
 
 Tensor Tensor::full(std::vector<int> shape, float value) {
   Tensor t(std::move(shape));

@@ -8,7 +8,8 @@ Scale scale_from_string(const std::string& name) {
   if (name == "small") return Scale::kSmall;
   if (name == "medium") return Scale::kMedium;
   if (name == "paper") return Scale::kPaper;
-  throw util::CheckError("unknown scale: " + name + " (expected small|medium|paper)");
+  throw util::CheckError("unknown scale: " + name +
+                         " (expected small|medium|paper)");
 }
 
 std::string to_string(Scale scale) {
@@ -157,7 +158,8 @@ DesignSpec design_d4(Scale scale) {
 }
 
 std::vector<DesignSpec> all_designs(Scale scale) {
-  return {design_d1(scale), design_d2(scale), design_d3(scale), design_d4(scale)};
+  return {design_d1(scale), design_d2(scale), design_d3(scale),
+          design_d4(scale)};
 }
 
 DesignSpec design_by_name(const std::string& name, Scale scale) {

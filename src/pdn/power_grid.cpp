@@ -9,9 +9,12 @@
 namespace pdnn::pdn {
 
 PowerGrid::PowerGrid(const DesignSpec& spec) : spec_(spec) {
-  PDN_CHECK(spec.tile_rows > 0 && spec.tile_cols > 0, "PowerGrid: empty tile grid");
-  PDN_CHECK(spec.nodes_per_tile > 0, "PowerGrid: nodes_per_tile must be positive");
-  PDN_CHECK(spec.top_stride > 0 && spec.bump_pitch > 0, "PowerGrid: bad pitches");
+  PDN_CHECK(spec.tile_rows > 0 && spec.tile_cols > 0,
+            "PowerGrid: empty tile grid");
+  PDN_CHECK(spec.nodes_per_tile > 0,
+            "PowerGrid: nodes_per_tile must be positive");
+  PDN_CHECK(spec.top_stride > 0 && spec.bump_pitch > 0,
+            "PowerGrid: bad pitches");
 
   bottom_rows_ = spec.bottom_rows();
   bottom_cols_ = spec.bottom_cols();
@@ -56,8 +59,12 @@ void PowerGrid::build_matrix() {
   };
   for (int rt = 0; rt < top_rows_; ++rt) {
     for (int ct = 0; ct < top_cols_; ++ct) {
-      if (ct + 1 < top_cols_) stamp(top_node(rt, ct), top_node(rt, ct + 1), g_top);
-      if (rt + 1 < top_rows_) stamp(top_node(rt, ct), top_node(rt + 1, ct), g_top);
+      if (ct + 1 < top_cols_) {
+        stamp(top_node(rt, ct), top_node(rt, ct + 1), g_top);
+      }
+      if (rt + 1 < top_rows_) {
+        stamp(top_node(rt, ct), top_node(rt + 1, ct), g_top);
+      }
     }
   }
 

@@ -60,7 +60,8 @@ TransientSimulator::TransientSimulator(const pdn::PowerGrid& grid,
   prepare_seconds_ = timer.seconds();
 }
 
-TransientResult TransientSimulator::simulate(const vectors::CurrentTrace& trace) {
+TransientResult TransientSimulator::simulate(
+    const vectors::CurrentTrace& trace) const {
   const int n = grid_.num_nodes();
   const double dt = options_.dt;
   const double vdd = grid_.spec().vdd;
@@ -96,7 +97,8 @@ TransientResult TransientSimulator::simulate(const vectors::CurrentTrace& trace)
   std::vector<float> worst(static_cast<std::size_t>(n), 0.0f);
   const auto record = [&](const std::vector<double>& volt) {
     for (int i = 0; i < n; ++i) {
-      const float droop = static_cast<float>(vdd - volt[static_cast<std::size_t>(i)]);
+      const float droop =
+          static_cast<float>(vdd - volt[static_cast<std::size_t>(i)]);
       worst[static_cast<std::size_t>(i)] =
           std::max(worst[static_cast<std::size_t>(i)], droop);
     }
@@ -107,8 +109,8 @@ TransientResult TransientSimulator::simulate(const vectors::CurrentTrace& trace)
   std::vector<double> v_next = v;
   for (int k = 1; k < trace.num_steps(); ++k) {
     for (int i = 0; i < n; ++i) {
-      rhs[static_cast<std::size_t>(i)] =
-          cap[static_cast<std::size_t>(i)] / dt * v[static_cast<std::size_t>(i)];
+      rhs[static_cast<std::size_t>(i)] = cap[static_cast<std::size_t>(i)] /
+                                         dt * v[static_cast<std::size_t>(i)];
     }
     for (std::size_t i = 0; i < bumps.size(); ++i) {
       rhs[static_cast<std::size_t>(bumps[i].node)] +=
@@ -116,7 +118,8 @@ TransientResult TransientSimulator::simulate(const vectors::CurrentTrace& trace)
     }
     const float* step = trace.step_data(k);
     for (int j = 0; j < trace.num_loads(); ++j) {
-      rhs[static_cast<std::size_t>(loads[static_cast<std::size_t>(j)])] -= step[j];
+      rhs[static_cast<std::size_t>(loads[static_cast<std::size_t>(j)])] -=
+          step[j];
     }
     // v_next keeps the previous solution: warm start for iterative solvers.
     solver_->solve(rhs, v_next);
@@ -140,7 +143,7 @@ TransientResult TransientSimulator::simulate(const vectors::CurrentTrace& trace)
 }
 
 util::MapF TransientSimulator::static_ir_map(
-    const std::vector<double>& load_currents) {
+    const std::vector<double>& load_currents) const {
   const int n = grid_.num_nodes();
   const double vdd = grid_.spec().vdd;
   const auto& loads = grid_.load_nodes();

@@ -43,11 +43,17 @@ class TransientSimulator {
   TransientSimulator(const pdn::PowerGrid& grid, TransientOptions options);
 
   /// Run dynamic analysis over a full current trace.
-  TransientResult simulate(const vectors::CurrentTrace& trace);
+  ///
+  /// Thread-safe: the factored system matrices are read-only after
+  /// construction and all time-stepping state (voltages, RHS, inductor
+  /// currents) is local to the call, so independent traces may be simulated
+  /// concurrently on one simulator — this is how parallel dataset
+  /// generation runs (core::simulate_dataset).
+  TransientResult simulate(const vectors::CurrentTrace& trace) const;
 
   /// Static (DC) analysis: inductors shorted, capacitors open. Returns the
   /// per-tile IR-drop map for the given per-load DC currents.
-  util::MapF static_ir_map(const std::vector<double>& load_currents);
+  util::MapF static_ir_map(const std::vector<double>& load_currents) const;
 
   double prepare_seconds() const { return prepare_seconds_; }
   const pdn::PowerGrid& grid() const { return grid_; }
@@ -59,7 +65,7 @@ class TransientSimulator {
   const pdn::PowerGrid& grid_;
   TransientOptions options_;
   std::unique_ptr<sparse::LinearSolver> solver_;     // transient matrix
-  std::unique_ptr<sparse::LinearSolver> dc_solver_;  // DC matrix (init + static)
+  std::unique_ptr<sparse::LinearSolver> dc_solver_;  // DC (init + static)
   std::vector<double> bump_g_;     ///< companion conductance per bump
   std::vector<double> bump_hist_;  ///< g * (L/dt) factor per bump
   std::vector<double> bump_g_dc_;  ///< DC conductance per bump (1/R)

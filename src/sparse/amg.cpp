@@ -38,8 +38,8 @@ std::pair<std::vector<int>, int> aggregate_nodes(const CsrMatrix& a,
     agg[static_cast<std::size_t>(i)] = count;
     for (std::int64_t p = a.indptr()[i]; p < a.indptr()[i + 1]; ++p) {
       if (is_strong(i, p)) {
-        agg[static_cast<std::size_t>(a.indices()[static_cast<std::size_t>(p)])] =
-            count;
+        const int nbr = a.indices()[static_cast<std::size_t>(p)];
+        agg[static_cast<std::size_t>(nbr)] = count;
       }
     }
     ++count;
@@ -139,9 +139,8 @@ void AmgHierarchy::cycle(int level, const std::vector<double>& b,
   // Restrict the residual: r_c[I] = sum over i in I of (b - A x)_i.
   std::vector<double> ax;
   a.multiply(x, ax);
-  std::vector<double> coarse_b(
-      static_cast<std::size_t>(matrices_[static_cast<std::size_t>(level) + 1].rows()),
-      0.0);
+  const CsrMatrix& coarse = matrices_[static_cast<std::size_t>(level) + 1];
+  std::vector<double> coarse_b(static_cast<std::size_t>(coarse.rows()), 0.0);
   for (std::size_t i = 0; i < ax.size(); ++i) {
     coarse_b[static_cast<std::size_t>(agg[i])] += b[i] - ax[i];
   }

@@ -39,7 +39,9 @@ class AmgHierarchy {
   int coarse_size() const { return matrices_.back().rows(); }
 
   /// Node count of level l (0 = finest).
-  int level_size(int level) const { return matrices_[static_cast<std::size_t>(level)].rows(); }
+  int level_size(int level) const {
+    return matrices_[static_cast<std::size_t>(level)].rows();
+  }
 
  private:
   void smooth(int level, const std::vector<double>& b,
@@ -58,7 +60,8 @@ class AmgHierarchy {
 class AmgPreconditioner : public Preconditioner {
  public:
   explicit AmgPreconditioner(const CsrMatrix& a, AmgOptions options = {});
-  void apply(const std::vector<double>& r, std::vector<double>& z) const override;
+  void apply(const std::vector<double>& r,
+             std::vector<double>& z) const override;
 
   const AmgHierarchy& hierarchy() const { return hierarchy_; }
 

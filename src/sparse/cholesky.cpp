@@ -74,7 +74,8 @@ void BandCholesky::factor(const CsrMatrix& a, std::size_t max_band_bytes) {
 void BandCholesky::solve(const std::vector<double>& b,
                          std::vector<double>& x) const {
   PDN_CHECK(factored(), "BandCholesky::solve before factor");
-  PDN_CHECK(static_cast<int>(b.size()) == n_, "BandCholesky::solve: size mismatch");
+  PDN_CHECK(static_cast<int>(b.size()) == n_,
+            "BandCholesky::solve: size mismatch");
   const std::size_t stride = static_cast<std::size_t>(bw_) + 1;
 
   // Permute b into factor ordering.
@@ -89,7 +90,9 @@ void BandCholesky::solve(const std::vector<double>& b,
     const int j_lo = std::max(0, i - bw_);
     double acc = y[static_cast<std::size_t>(i)];
     const double* pl = row + (j_lo - i + bw_);
-    for (int j = j_lo; j < i; ++j) acc -= *pl++ * y[static_cast<std::size_t>(j)];
+    for (int j = j_lo; j < i; ++j) {
+      acc -= *pl++ * y[static_cast<std::size_t>(j)];
+    }
     y[static_cast<std::size_t>(i)] = acc / row[bw_];
   }
 

@@ -8,7 +8,8 @@
 
 namespace pdnn::sparse {
 
-CsrMatrix CsrMatrix::from_triplets(int n, const std::vector<Triplet>& triplets) {
+CsrMatrix CsrMatrix::from_triplets(int n,
+                                   const std::vector<Triplet>& triplets) {
   PDN_CHECK(n >= 0, "from_triplets: negative dimension");
   CsrMatrix m;
   m.n_ = n;

@@ -28,12 +28,15 @@ std::vector<int> reverse_cuthill_mckee(const CsrMatrix& a) {
   std::vector<int> by_degree(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) by_degree[static_cast<std::size_t>(i)] = i;
   std::sort(by_degree.begin(), by_degree.end(), [&](int x, int y) {
-    return degree[static_cast<std::size_t>(x)] < degree[static_cast<std::size_t>(y)];
+    return degree[static_cast<std::size_t>(x)] <
+           degree[static_cast<std::size_t>(y)];
   });
 
   std::size_t seed_cursor = 0;
   while (order.size() < static_cast<std::size_t>(n)) {
-    while (visited[static_cast<std::size_t>(by_degree[seed_cursor])]) ++seed_cursor;
+    while (visited[static_cast<std::size_t>(by_degree[seed_cursor])]) {
+      ++seed_cursor;
+    }
     const int start = by_degree[seed_cursor];
 
     std::queue<int> frontier;

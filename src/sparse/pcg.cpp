@@ -55,7 +55,8 @@ Ic0Preconditioner::Ic0Preconditioner(const CsrMatrix& a) {
         }
       }
       if (j < i) {
-        const double ljj = values_[static_cast<std::size_t>(indptr_[j + 1] - 1)];
+        const double ljj =
+            values_[static_cast<std::size_t>(indptr_[j + 1] - 1)];
         values_[static_cast<std::size_t>(p)] = acc / ljj;
       } else {
         // Breakdown guard: IC(0) of an SPD matrix can still hit a
@@ -79,13 +80,14 @@ void Ic0Preconditioner::apply(const std::vector<double>& r,
       acc -= values_[static_cast<std::size_t>(p)] *
              z[static_cast<std::size_t>(indices_[static_cast<std::size_t>(p)])];
     }
-    z[static_cast<std::size_t>(i)] = acc / values_[static_cast<std::size_t>(diag)];
+    z[static_cast<std::size_t>(i)] =
+        acc / values_[static_cast<std::size_t>(diag)];
   }
   // Backward: L^T z = y (column sweep).
   for (int i = n_ - 1; i >= 0; --i) {
     const std::int64_t diag = indptr_[i + 1] - 1;
-    const double zi =
-        z[static_cast<std::size_t>(i)] / values_[static_cast<std::size_t>(diag)];
+    const double zi = z[static_cast<std::size_t>(i)] /
+                      values_[static_cast<std::size_t>(diag)];
     z[static_cast<std::size_t>(i)] = zi;
     for (std::int64_t p = indptr_[i]; p < diag; ++p) {
       z[static_cast<std::size_t>(indices_[static_cast<std::size_t>(p)])] -=
@@ -156,8 +158,8 @@ PcgStats pcg_solve(const CsrMatrix& a, const Preconditioner& m,
     const double beta = rz_new / rz;
     rz = rz_new;
     for (int i = 0; i < n; ++i) {
-      p[static_cast<std::size_t>(i)] =
-          z[static_cast<std::size_t>(i)] + beta * p[static_cast<std::size_t>(i)];
+      p[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(i)] +
+                                       beta * p[static_cast<std::size_t>(i)];
     }
   }
   return stats;

@@ -26,7 +26,8 @@ class Preconditioner {
 class JacobiPreconditioner : public Preconditioner {
  public:
   explicit JacobiPreconditioner(const CsrMatrix& a);
-  void apply(const std::vector<double>& r, std::vector<double>& z) const override;
+  void apply(const std::vector<double>& r,
+             std::vector<double>& z) const override;
 
  private:
   std::vector<double> inv_diag_;
@@ -36,7 +37,8 @@ class JacobiPreconditioner : public Preconditioner {
 class Ic0Preconditioner : public Preconditioner {
  public:
   explicit Ic0Preconditioner(const CsrMatrix& a);
-  void apply(const std::vector<double>& r, std::vector<double>& z) const override;
+  void apply(const std::vector<double>& r,
+             std::vector<double>& z) const override;
 
  private:
   // Lower-triangular factor in CSR (sorted columns, diagonal last per row).

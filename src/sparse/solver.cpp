@@ -35,7 +35,8 @@ namespace {
 class CholeskySolver final : public LinearSolver {
  public:
   void prepare(const CsrMatrix& a) override { chol_.factor(a); }
-  void solve(const std::vector<double>& b, std::vector<double>& x) override {
+  void solve(const std::vector<double>& b,
+             std::vector<double>& x) const override {
     chol_.solve(b, x);
   }
   std::string name() const override { return "cholesky"; }
@@ -53,7 +54,8 @@ class PcgSolverImpl final : public LinearSolver {
     a_ = a;
     precond_ = std::make_unique<Precond>(a_);
   }
-  void solve(const std::vector<double>& b, std::vector<double>& x) override {
+  void solve(const std::vector<double>& b,
+             std::vector<double>& x) const override {
     PDN_CHECK(precond_ != nullptr, "PcgSolver::solve before prepare");
     const PcgStats stats = pcg_solve(a_, *precond_, b, x);
     PDN_CHECK(stats.converged, "PCG failed to converge");
@@ -73,7 +75,8 @@ std::unique_ptr<LinearSolver> LinearSolver::create(SolverKind kind) {
     case SolverKind::kCholesky:
       return std::make_unique<CholeskySolver>();
     case SolverKind::kPcgJacobi:
-      return std::make_unique<PcgSolverImpl<JacobiPreconditioner>>("pcg-jacobi");
+      return std::make_unique<PcgSolverImpl<JacobiPreconditioner>>(
+          "pcg-jacobi");
     case SolverKind::kPcgIc0:
       return std::make_unique<PcgSolverImpl<Ic0Preconditioner>>("pcg-ic0");
     case SolverKind::kPcgAmg:

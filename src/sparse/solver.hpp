@@ -32,7 +32,11 @@ class LinearSolver {
 
   /// Solve A x = b. Iterative implementations warm-start from the value in x
   /// (pass the previous time step's solution); direct ones overwrite it.
-  virtual void solve(const std::vector<double>& b, std::vector<double>& x) = 0;
+  /// Thread-safe: the prepared factor/preconditioner is read-only here and
+  /// all per-solve scratch lives in b/x or on the stack, so concurrent
+  /// solve() calls with distinct b/x vectors are safe.
+  virtual void solve(const std::vector<double>& b,
+                     std::vector<double>& x) const = 0;
 
   virtual std::string name() const = 0;
 

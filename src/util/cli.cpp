@@ -10,7 +10,8 @@ namespace pdnn::util {
 ArgParser::ArgParser(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
 
-void ArgParser::add_flag(const std::string& name, const std::string& default_value,
+void ArgParser::add_flag(const std::string& name,
+                         const std::string& default_value,
                          const std::string& help) {
   options_[name] = Option{default_value, help, /*is_bool=*/false};
   values_[name] = default_value;
@@ -78,7 +79,8 @@ std::string ArgParser::help() const {
   for (const auto& [name, opt] : options_) {
     os << "  --" << name;
     if (!opt.is_bool) os << " <value>";
-    os << "  (default: " << opt.default_value << ")\n      " << opt.help << "\n";
+    os << "  (default: " << opt.default_value << ")\n      " << opt.help
+       << "\n";
   }
   return os.str();
 }

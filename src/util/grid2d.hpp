@@ -17,7 +17,9 @@ class Grid2D {
  public:
   Grid2D() = default;
   Grid2D(int rows, int cols, T fill = T{})
-      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, fill) {
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, fill) {
     PDN_CHECK(rows >= 0 && cols >= 0, "Grid2D: negative dimension");
   }
 
@@ -27,16 +29,20 @@ class Grid2D {
   bool empty() const { return data_.empty(); }
 
   T& at(int r, int c) {
-    PDN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "Grid2D: out of range");
+    PDN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+              "Grid2D: out of range");
     return data_[static_cast<std::size_t>(r) * cols_ + c];
   }
   const T& at(int r, int c) const {
-    PDN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "Grid2D: out of range");
+    PDN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+              "Grid2D: out of range");
     return data_[static_cast<std::size_t>(r) * cols_ + c];
   }
 
   /// Unchecked access for hot loops.
-  T& operator()(int r, int c) { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+  T& operator()(int r, int c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
   const T& operator()(int r, int c) const {
     return data_[static_cast<std::size_t>(r) * cols_ + c];
   }
@@ -61,7 +67,9 @@ class Grid2D {
     for (const T& v : data_) s += static_cast<double>(v);
     return s;
   }
-  double mean() const { return data_.empty() ? 0.0 : sum() / static_cast<double>(size()); }
+  double mean() const {
+    return data_.empty() ? 0.0 : sum() / static_cast<double>(size());
+  }
 
   bool same_shape(const Grid2D& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;

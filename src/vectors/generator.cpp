@@ -38,7 +38,8 @@ CurrentTrace TestVectorGenerator::generate() {
     const double drift =
         1.0 + 0.05 * std::sin(drift_phase + 2.0 * std::numbers::pi * k / steps);
     for (int j = 0; j < num_loads; ++j) {
-      trace.at(k, j) = static_cast<float>(base[static_cast<std::size_t>(j)] * drift);
+      trace.at(k, j) =
+          static_cast<float>(base[static_cast<std::size_t>(j)] * drift);
     }
   }
 
@@ -47,21 +48,24 @@ CurrentTrace TestVectorGenerator::generate() {
   for (int b = 0; b < bursts; ++b) {
     // Temporal extent.
     const int width = std::max(
-        4, static_cast<int>(steps *
-                            rng.uniform(params_.width_low, params_.width_high)));
+        4, static_cast<int>(
+               steps * rng.uniform(params_.width_low, params_.width_high)));
     const int start = rng.uniform_int(0, std::max(0, steps - width - 1));
     const int period =
         rng.uniform_int(params_.toggle_period_min, params_.toggle_period_max);
 
     // Spatial extent: loads within a random radius of a random active load.
     const int anchor_idx = rng.uniform_int(0, num_loads - 1);
-    const double ar = grid_.node_row(loads[static_cast<std::size_t>(anchor_idx)]);
-    const double ac = grid_.node_col(loads[static_cast<std::size_t>(anchor_idx)]);
+    const double ar =
+        grid_.node_row(loads[static_cast<std::size_t>(anchor_idx)]);
+    const double ac =
+        grid_.node_col(loads[static_cast<std::size_t>(anchor_idx)]);
     const double radius =
         rng.uniform(0.08, 0.25) *
         std::max(grid_.bottom_rows(), grid_.bottom_cols());
 
-    const double amp = unit * rng.uniform(params_.burst_low, params_.burst_high);
+    const double amp =
+        unit * rng.uniform(params_.burst_low, params_.burst_high);
     for (int j = 0; j < num_loads; ++j) {
       const double dr = grid_.node_row(loads[static_cast<std::size_t>(j)]) - ar;
       const double dc = grid_.node_col(loads[static_cast<std::size_t>(j)]) - ac;
@@ -72,7 +76,8 @@ CurrentTrace TestVectorGenerator::generate() {
       for (int k = start; k < std::min(steps, start + width); ++k) {
         // Raised-cosine envelope x pulse train: switching current bursts.
         const double t = static_cast<double>(k - start) / width;
-        const double envelope = 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * t));
+        const double envelope =
+            0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * t));
         const bool on = ((k + phase) % period) < (period + 1) / 2;
         if (on) {
           trace.at(k, j) += static_cast<float>(load_amp * envelope);

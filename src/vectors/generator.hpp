@@ -33,7 +33,7 @@ struct VectorGenParams {
                             ///< droop is set by amplitude, not phase alignment
   int toggle_period_min = 2;  ///< pulse-train period inside a burst (steps)
   int toggle_period_max = 8;
-  double participation = 0.9;  ///< fraction of a burst region's loads that toggle
+  double participation = 0.9;  ///< fraction of a burst's loads that toggle
 };
 
 /// Generates independent random test vectors for one design.

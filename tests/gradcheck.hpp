@@ -21,7 +21,9 @@ inline void expect_gradients_match(
   // Analytic gradients.
   std::vector<nn::Var> vars;
   vars.reserve(inputs.size());
-  for (nn::Tensor& t : inputs) vars.emplace_back(t.clone(), /*requires_grad=*/true);
+  for (nn::Tensor& t : inputs) {
+    vars.emplace_back(t.clone(), /*requires_grad=*/true);
+  }
   nn::Var out = fn(vars);
   ASSERT_EQ(out.value().numel(), 1) << "gradcheck needs a scalar output";
   out.backward();

@@ -84,7 +84,7 @@ TEST(AmgHierarchy, BuildsMultipleLevels) {
   for (int l = 1; l < amg.levels(); ++l) {
     EXPECT_LT(amg.level_size(l), amg.level_size(l - 1));
   }
-  EXPECT_LE(amg.coarse_size(), 64 * 4);  // coarsening reached the threshold zone
+  EXPECT_LE(amg.coarse_size(), 64 * 4);  // coarsening reached the threshold
 }
 
 TEST(AmgHierarchy, VcycleContractsResidual) {

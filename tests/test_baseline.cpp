@@ -55,9 +55,10 @@ TEST(PowerNet, FeatureExtractionShapesAndInvariants) {
       double mean_of_windows = 0.0;
       for (const auto& w : f.window_power) mean_of_windows += w(r, c);
       mean_of_windows /= 4.0;
-      EXPECT_NEAR(mean_of_windows, f.total_power(r, c),
-                  0.02 * std::max(1e-9, static_cast<double>(f.total_power(r, c))) +
-                      1e-9);
+      const double tol =
+          0.02 * std::max(1e-9, static_cast<double>(f.total_power(r, c))) +
+          1e-9;
+      EXPECT_NEAR(mean_of_windows, f.total_power(r, c), tol);
     }
   }
   // Leakage (temporal min) can never exceed the mean; toggle rate in [0,1].
@@ -93,7 +94,8 @@ TEST(PowerNet, TrainingReducesError) {
   // Error before training.
   const std::vector<int> train_idx{0, 1, 2, 3};
   auto mae_on = [&](int idx) {
-    const util::MapF pred = runner.predict(raw.samples[static_cast<std::size_t>(idx)]);
+    const util::MapF pred =
+        runner.predict(raw.samples[static_cast<std::size_t>(idx)]);
     double mae = 0.0;
     const auto& truth = raw.samples[static_cast<std::size_t>(idx)].truth;
     for (std::size_t i = 0; i < truth.size(); ++i) {

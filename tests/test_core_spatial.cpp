@@ -75,8 +75,8 @@ TEST(Spatial, Equation2MaxPreservation) {
   const util::MapF tiles = sc.tile_noise(result.node_worst_noise);
   float node_max = 0.0f;
   for (int node = 0; node < grid.num_bottom_nodes(); ++node) {
-    node_max = std::max(node_max,
-                        result.node_worst_noise[static_cast<std::size_t>(node)]);
+    node_max = std::max(
+        node_max, result.node_worst_noise[static_cast<std::size_t>(node)]);
   }
   EXPECT_FLOAT_EQ(tiles.max_value(), node_max);
 }

@@ -43,7 +43,8 @@ TEST_P(CompressionRates, KeepsRequestedFraction) {
   TemporalCompressionOptions opt;
   opt.rate = GetParam();
   const auto result = compress_temporal(s, opt);
-  const int expected = std::max(1, static_cast<int>(std::lround(opt.rate * 200)));
+  const int expected =
+      std::max(1, static_cast<int>(std::lround(opt.rate * 200)));
   EXPECT_EQ(static_cast<int>(result.kept.size()), expected);
 }
 
@@ -163,7 +164,8 @@ TEST(Temporal, CompressionIsScaleInvariant) {
   for (double& v : scaled) v *= 7.5;
   TemporalCompressionOptions opt;
   opt.rate = 0.2;
-  EXPECT_EQ(compress_temporal(s, opt).kept, compress_temporal(scaled, opt).kept);
+  EXPECT_EQ(compress_temporal(s, opt).kept,
+            compress_temporal(scaled, opt).kept);
 }
 
 TEST(Temporal, KeptSetIsDeterministic) {

@@ -120,8 +120,8 @@ TEST(Pipeline, PredictionMatchesManualForward) {
   // Manual reproduction of the pipeline's steps must agree exactly.
   const core::SpatialCompressor sc(f.grid);
   const auto maps = sc.current_maps(trace);
-  const auto tc =
-      core::compress_temporal(core::total_current_sequence(maps), popt.temporal);
+  const auto tc = core::compress_temporal(core::total_current_sequence(maps),
+                                          popt.temporal);
   const nn::Tensor currents =
       core::stack_current_maps(maps, tc.kept, model.config().current_scale);
   nn::NoGradGuard guard;

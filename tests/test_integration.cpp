@@ -62,9 +62,11 @@ TEST(Integration, EndToEndTinyDesignLearnsNoiseMap) {
   for (int idx : data.split.test) {
     nn::NoGradGuard guard;
     const auto& s = data.samples[static_cast<std::size_t>(idx)];
-    const nn::Var pred = model.forward(nn::Var(data.distance), nn::Var(s.currents));
+    const nn::Var pred =
+        model.forward(nn::Var(data.distance), nn::Var(s.currents));
     const util::MapF map = core::tensor_to_map(pred.value(), cfg.noise_scale);
-    evaluator.add(map, raw.samples[static_cast<std::size_t>(s.raw_index)].truth);
+    evaluator.add(map,
+                  raw.samples[static_cast<std::size_t>(s.raw_index)].truth);
   }
   const auto acc = evaluator.accuracy();
   const auto hot = evaluator.hotspots();

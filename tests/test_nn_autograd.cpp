@@ -15,7 +15,8 @@ using nn::Tensor;
 using nn::Var;
 using testutil::expect_gradients_match;
 
-Tensor random_tensor(std::vector<int> shape, util::Rng& rng, float scale = 1.0f) {
+Tensor random_tensor(std::vector<int> shape, util::Rng& rng,
+                     float scale = 1.0f) {
   Tensor t(std::move(shape));
   for (std::int64_t i = 0; i < t.numel(); ++i) {
     t.data()[i] = static_cast<float>(rng.normal(0.0, scale));
@@ -106,7 +107,8 @@ TEST(Ops, CropRejectsUpscale) {
 TEST(Ops, L1LossValues) {
   const Tensor p = Tensor::from_data({1, 1, 1, 3}, {1.0f, 2.0f, 3.0f});
   const Tensor t = Tensor::from_data({1, 1, 1, 3}, {2.0f, 2.0f, 1.0f});
-  EXPECT_FLOAT_EQ(nn::l1_loss(Var(p), t, nn::Reduction::kSum).value().item(), 3.0f);
+  EXPECT_FLOAT_EQ(nn::l1_loss(Var(p), t, nn::Reduction::kSum).value().item(),
+                  3.0f);
   EXPECT_FLOAT_EQ(nn::l1_loss(Var(p), t, nn::Reduction::kMean).value().item(),
                   1.0f);
 }

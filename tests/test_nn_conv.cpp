@@ -67,8 +67,10 @@ Tensor reference_conv_transpose2d(const Tensor& x, const Tensor& w,
                                   int output_padding) {
   const int n = x.n(), cin = x.c(), h = x.h(), wd = x.w();
   const int cout = w.c(), kh = w.h(), kw = w.w();
-  const int ho = nn::conv_transpose_out_size(h, kh, stride, pad, output_padding);
-  const int wo = nn::conv_transpose_out_size(wd, kw, stride, pad, output_padding);
+  const int ho =
+      nn::conv_transpose_out_size(h, kh, stride, pad, output_padding);
+  const int wo =
+      nn::conv_transpose_out_size(wd, kw, stride, pad, output_padding);
   Tensor y({n, cout, ho, wo});
   for (int bi = 0; bi < n; ++bi) {
     for (int co = 0; co < cout; ++co)

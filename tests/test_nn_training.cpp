@@ -73,7 +73,9 @@ TEST(Adam, ConvergesOnConvRegression) {
   nn::Adam opt(conv.parameters(), 0.05f);
 
   Tensor x({1, 1, 4, 4});
-  for (std::int64_t i = 0; i < 16; ++i) x.data()[i] = static_cast<float>(i) / 8.0f;
+  for (std::int64_t i = 0; i < 16; ++i) {
+    x.data()[i] = static_cast<float>(i) / 8.0f;
+  }
   Tensor target = x.clone();
   for (std::int64_t i = 0; i < 16; ++i) target.data()[i] *= 3.0f;
 

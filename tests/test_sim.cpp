@@ -154,8 +154,8 @@ TEST(Transient, TileNoiseIsMaxOverNodes) {
   // Global max over the tile map equals global max over bottom nodes (Eq. 2).
   float node_max = 0.0f;
   for (int node = 0; node < grid.num_bottom_nodes(); ++node) {
-    node_max =
-        std::max(node_max, result.node_worst_noise[static_cast<std::size_t>(node)]);
+    node_max = std::max(
+        node_max, result.node_worst_noise[static_cast<std::size_t>(node)]);
   }
   EXPECT_FLOAT_EQ(result.tile_worst_noise.max_value(), node_max);
 }
@@ -229,7 +229,8 @@ TEST(Calibrate, HitsTargetMeanNoiseExactly) {
   // match essentially exact.
   const pdn::PowerGrid grid(calibrated);
   sim::TransientSimulator simulator(grid, {});
-  vectors::TestVectorGenerator gen(grid, params, calibrated.seed ^ 0xca11b7a7ull);
+  vectors::TestVectorGenerator gen(grid, params,
+                                   calibrated.seed ^ 0xca11b7a7ull);
   double mean = 0.0;
   for (int i = 0; i < 2; ++i) {
     mean += simulator.simulate(gen.generate()).tile_worst_noise.mean();

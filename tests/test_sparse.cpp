@@ -92,8 +92,8 @@ TEST(Csr, MultiplyMatchesManual) {
 
 TEST(Csr, SymmetryDetection) {
   EXPECT_TRUE(grid_laplacian(4, 5, 0.1).is_symmetric());
-  const CsrMatrix asym =
-      CsrMatrix::from_triplets(2, {{0, 1, 1.0}, {1, 0, 2.0}, {0, 0, 1.0}, {1, 1, 1.0}});
+  const CsrMatrix asym = CsrMatrix::from_triplets(
+      2, {{0, 1, 1.0}, {1, 0, 2.0}, {0, 0, 1.0}, {1, 1, 1.0}});
   EXPECT_FALSE(asym.is_symmetric());
 }
 
@@ -312,8 +312,8 @@ TEST(RandomWalk, MatchesDirectSolverStatistically) {
   opt.walks = 20000;
   for (int node : {0, 7, 14, 35}) {
     const double estimate = walker.solve_node(b, node, rng, opt);
-    EXPECT_NEAR(estimate, exact[static_cast<std::size_t>(node)],
-                0.05 * std::max(0.05, std::abs(exact[static_cast<std::size_t>(node)])))
+    const double truth = exact[static_cast<std::size_t>(node)];
+    EXPECT_NEAR(estimate, truth, 0.05 * std::max(0.05, std::abs(truth)))
         << "node " << node;
   }
 }
