@@ -43,6 +43,9 @@ void add_common_flags(util::ArgParser& args) {
   args.add_flag("threads", "0",
                 "worker threads for the shared pool "
                 "(0: PDNN_THREADS or hardware concurrency)");
+  args.add_flag("sim-batch", "0",
+                "traces per lockstep multi-RHS transient batch "
+                "(0: PDNN_SIM_BATCH or 8; any width is bit-identical)");
 }
 
 ExperimentOptions options_from_args(const util::ArgParser& args) {
@@ -58,6 +61,7 @@ ExperimentOptions options_from_args(const util::ArgParser& args) {
   o.verbose = args.get_bool("verbose");
   o.threads = args.get_int("threads");
   if (o.threads > 0) util::ThreadPool::set_global_threads(o.threads);
+  o.sim_batch = args.get_int("sim-batch");
   return o;
 }
 
@@ -88,7 +92,7 @@ DesignExperiment run_design_experiment(const pdn::DesignSpec& base_spec,
   // 2) Golden dataset.
   vectors::TestVectorGenerator gen(*ex.grid, gen_params, ex.spec.seed);
   ex.raw = core::simulate_dataset(*ex.grid, *ex.simulator, gen,
-                                  options.num_vectors);
+                                  options.num_vectors, {}, options.sim_batch);
   if (options.ablate_distance) ex.raw.distance.zero();
 
   core::TemporalCompressionOptions temporal;

@@ -40,7 +40,8 @@ struct ExperimentOptions {
   core::SplitStrategy split = core::SplitStrategy::kExpansion;
   bool ablate_distance = false;  ///< zero the bump-distance feature
   bool verbose = false;
-  int threads = 0;  ///< pool size; 0 = PDNN_THREADS / hardware concurrency
+  int threads = 0;   ///< pool size; 0 = PDNN_THREADS / hardware concurrency
+  int sim_batch = 0; ///< transient batch width; 0 = PDNN_SIM_BATCH / 8
 };
 
 /// Defaults per scale, overridable from the CLI.

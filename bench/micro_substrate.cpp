@@ -259,6 +259,35 @@ void BM_SpatialAggregation(benchmark::State& state) {
 }
 BENCHMARK(BM_SpatialAggregation);
 
+void BM_TransientSimBatch(benchmark::State& state) {
+  // Batched multi-RHS engine trajectory: steps/sec vs batch width on the
+  // D3-sized design (the noisiest Table-1 design) with the band-Cholesky
+  // engine. items_processed counts trace-steps, so items_per_second is the
+  // steps/sec figure tracked by BENCH_sim_batch.json; the B=8 : B=1 ratio is
+  // the factor-streaming amortization (acceptance: >= 1.5x).
+  const int batch = static_cast<int>(state.range(0));
+  constexpr int kSteps = 40;
+  static const pdn::PowerGrid* grid =
+      new pdn::PowerGrid(pdn::design_d3(pdn::Scale::kSmall));
+  static const sim::TransientSimulator* simulator =
+      new sim::TransientSimulator(*grid, {});
+  vectors::VectorGenParams params;
+  params.num_steps = kSteps;
+  vectors::TestVectorGenerator gen(*grid, params, 17);
+  std::vector<vectors::CurrentTrace> traces;
+  traces.reserve(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) traces.push_back(gen.generate());
+  for (auto _ : state) {
+    const auto results = simulator->simulate_batch(
+        {traces.data(), static_cast<std::size_t>(batch)});
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * kSteps);
+  state.SetLabel("D3 small (" + std::to_string(grid->num_nodes()) +
+                 " nodes), batch " + std::to_string(batch));
+}
+BENCHMARK(BM_TransientSimBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_TransientVector(benchmark::State& state) {
   const pdn::PowerGrid grid(bench_spec());
   sim::TransientSimulator simulator(grid, {});

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <mutex>
 #include <numeric>
+#include <span>
 
 #include "core/spatial.hpp"
 #include "util/check.hpp"
@@ -16,7 +17,8 @@ RawDataset simulate_dataset(const pdn::PowerGrid& grid,
                             const sim::TransientSimulator& simulator,
                             vectors::TestVectorGenerator& generator,
                             int num_vectors,
-                            const std::function<void(int, int)>& progress) {
+                            const std::function<void(int, int)>& progress,
+                            int sim_batch) {
   PDN_CHECK(num_vectors > 0, "simulate_dataset: need at least one vector");
   RawDataset ds;
   ds.vdd = static_cast<float>(grid.spec().vdd);
@@ -32,23 +34,41 @@ RawDataset simulate_dataset(const pdn::PowerGrid& grid,
   for (int i = 0; i < num_vectors; ++i) traces.push_back(generator.generate());
 
   // Transient solves are independent per vector: the simulator's shared
-  // factorization is read-only during simulate(), and all mutable solver
-  // state lives on the calling thread. Fan the vectors out across the pool.
+  // factorization is read-only during simulate_batch(), and all mutable
+  // solver state lives on the calling thread. Contiguous blocks of
+  // `sim_batch` traces step in lockstep to amortize factor streaming; the
+  // block partition depends only on (num_vectors, batch), and each block's
+  // per-trace results are bit-identical to serial simulate() calls, so
+  // neither the pool size nor the batch width changes the dataset.
+  const std::int64_t batch =
+      std::min<std::int64_t>(sim::resolve_sim_batch(sim_batch), num_vectors);
+  const std::int64_t num_blocks = (num_vectors + batch - 1) / batch;
   ds.samples.resize(static_cast<std::size_t>(num_vectors));
   std::mutex progress_mu;
   int completed = 0;
-  util::ThreadPool::global().run(num_vectors, [&](std::int64_t i) {
-    RawSample sample;
-    sample.current_maps =
-        spatial.current_maps(traces[static_cast<std::size_t>(i)]);
-    const sim::TransientResult result =
-        simulator.simulate(traces[static_cast<std::size_t>(i)]);
-    sample.truth = result.tile_worst_noise;
-    sample.sim_seconds = result.solve_seconds;
-    ds.samples[static_cast<std::size_t>(i)] = std::move(sample);
+  util::ThreadPool::global().run(num_blocks, [&](std::int64_t block) {
+    const std::int64_t begin = block * batch;
+    const std::int64_t end =
+        std::min<std::int64_t>(begin + batch, num_vectors);
+    const std::vector<sim::TransientResult> results = simulator.simulate_batch(
+        std::span<const vectors::CurrentTrace>(
+            traces.data() + begin, static_cast<std::size_t>(end - begin)));
+    for (std::int64_t i = begin; i < end; ++i) {
+      const sim::TransientResult& result =
+          results[static_cast<std::size_t>(i - begin)];
+      RawSample& sample = ds.samples[static_cast<std::size_t>(i)];
+      sample.current_maps =
+          spatial.current_maps(traces[static_cast<std::size_t>(i)]);
+      sample.truth = result.tile_worst_noise;
+      sample.sim_seconds = result.solve_seconds;
+    }
     if (progress) {
+      // One callback per vector (not per block), matching the serial
+      // engine's reporting granularity.
       std::lock_guard<std::mutex> lock(progress_mu);
-      progress(++completed, num_vectors);
+      for (std::int64_t i = begin; i < end; ++i) {
+        progress(++completed, num_vectors);
+      }
     }
   });
   // Fold timings in index order so the total is reproducible for a given

@@ -39,14 +39,18 @@ struct RawDataset {
 };
 
 /// Run the golden engine over `num_vectors` random vectors. Traces are drawn
-/// serially from `generator`'s stream, then the independent transient solves
-/// fan out across the global util::ThreadPool; the resulting dataset is
-/// bit-identical for any thread count. `progress` (optional) is called after
-/// each vector completes with (done, total), serialized under a mutex.
+/// serially from `generator`'s stream, then contiguous blocks of `sim_batch`
+/// traces run through sim::TransientSimulator::simulate_batch, with the
+/// blocks fanned out across the global util::ThreadPool; the resulting
+/// dataset is bit-identical for any thread count *and* any batch width (both
+/// are scheduling choices — see DESIGN.md §8). `sim_batch` <= 0 resolves via
+/// sim::resolve_sim_batch (PDNN_SIM_BATCH, default 8). `progress` (optional)
+/// is called as vectors complete with (done, total), serialized under a
+/// mutex.
 RawDataset simulate_dataset(
     const pdn::PowerGrid& grid, const sim::TransientSimulator& simulator,
     vectors::TestVectorGenerator& generator, int num_vectors,
-    const std::function<void(int, int)>& progress = {});
+    const std::function<void(int, int)>& progress = {}, int sim_batch = 0);
 
 /// How the train set is chosen from the sample pool.
 enum class SplitStrategy {

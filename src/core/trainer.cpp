@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "nn/conv.hpp"
 #include "nn/optimizer.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -62,6 +63,10 @@ TrainReport train_model(WorstCaseNoiseNet& model, const CompiledDataset& data,
     }
   }
   report.seconds = timer.seconds();
+  // Training is the peak-scratch workload; drop every worker's im2col
+  // buffers now so they don't pin peak-sized allocations for the process
+  // lifetime. Inference reallocates (smaller) scratch lazily.
+  nn::release_conv_scratch();
   return report;
 }
 

@@ -65,8 +65,9 @@ void gemm_nn(int m, int n, int k, float alpha, const float* a, int lda,
         float* crow = c + static_cast<std::ptrdiff_t>(i) * ldc;
         const float* arow = a + static_cast<std::ptrdiff_t>(i) * lda;
         for (int p = p0; p < p1; ++p) {
+          // No zero-skip: 0 * NaN/Inf must contribute NaN exactly as BLAS
+          // semantics (and the naive reference) prescribe.
           const float aip = alpha * arow[p];
-          if (aip == 0.0f) continue;
           const float* brow = b + static_cast<std::ptrdiff_t>(p) * ldb;
           // Inner loop over j: contiguous on both B and C, auto-vectorizes.
           for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
@@ -112,8 +113,8 @@ void gemm_tn(int m, int n, int k, float alpha, const float* a, int lda,
         const float* arow = a + static_cast<std::ptrdiff_t>(p) * lda;  // A[p,:]
         const float* brow = b + static_cast<std::ptrdiff_t>(p) * ldb;  // B[p,:]
         for (int i = i0; i < i1; ++i) {
+          // No zero-skip — see gemm_nn: skipping drops 0 * NaN/Inf terms.
           const float api = alpha * arow[i];
-          if (api == 0.0f) continue;
           float* crow = c + static_cast<std::ptrdiff_t>(i) * ldc;
           for (int j = 0; j < n; ++j) crow[j] += api * brow[j];
         }

@@ -1,6 +1,7 @@
 #include "nn/conv.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <vector>
 
 #include "linalg/gemm.hpp"
@@ -93,17 +94,59 @@ void col2im_acc(const float* col, int c, int h, int w, int kh, int kw,
   }
 }
 
-/// Reusable scratch to avoid per-call allocation in the training loop.
-std::vector<float>& scratch_a() {
-  thread_local std::vector<float> buf;
-  return buf;
-}
-std::vector<float>& scratch_b() {
-  thread_local std::vector<float> buf;
-  return buf;
+/// Reusable per-thread scratch to avoid per-call allocation in the training
+/// loop. Buffers self-register so release_conv_scratch() can drop every
+/// thread's peak-sized capacity once training ends, and deregister when
+/// their thread exits (e.g. the global pool is resized). The registry is
+/// intentionally leaked: worker thread_local destructors may run during
+/// static teardown, after this translation unit's statics would have died.
+struct ConvScratch {
+  ConvScratch();
+  ~ConvScratch();
+  std::vector<float> a, b;
+};
+
+std::mutex& scratch_mu() {
+  static auto* mu = new std::mutex();
+  return *mu;
 }
 
+std::vector<ConvScratch*>& scratch_registry() {
+  static auto* registry = new std::vector<ConvScratch*>();
+  return *registry;
+}
+
+ConvScratch::ConvScratch() {
+  const std::lock_guard<std::mutex> lock(scratch_mu());
+  scratch_registry().push_back(this);
+}
+
+ConvScratch::~ConvScratch() {
+  const std::lock_guard<std::mutex> lock(scratch_mu());
+  std::vector<ConvScratch*>& registry = scratch_registry();
+  registry.erase(std::remove(registry.begin(), registry.end(), this),
+                 registry.end());
+}
+
+ConvScratch& scratch() {
+  thread_local ConvScratch buffers;
+  return buffers;
+}
+
+std::vector<float>& scratch_a() { return scratch().a; }
+std::vector<float>& scratch_b() { return scratch().b; }
+
 }  // namespace
+
+void release_conv_scratch() {
+  const std::lock_guard<std::mutex> lock(scratch_mu());
+  for (ConvScratch* s : scratch_registry()) {
+    s->a.clear();
+    s->a.shrink_to_fit();
+    s->b.clear();
+    s->b.shrink_to_fit();
+  }
+}
 
 Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad,
            PadMode mode) {

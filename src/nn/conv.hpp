@@ -34,6 +34,13 @@ Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad,
 Var conv_transpose2d(const Var& x, const Var& w, const Var& b, int stride,
                      int pad, int output_padding);
 
+/// Free the im2col scratch capacity of every thread that has run a
+/// convolution (the buffers are thread_local and otherwise hold their
+/// peak size for the thread's lifetime). Call at a quiescent point — e.g.
+/// the end of training — with no conv2d/conv_transpose2d in flight; the
+/// buffers reallocate lazily on the next convolution.
+void release_conv_scratch();
+
 /// Expected output length of conv2d along one spatial axis.
 inline int conv_out_size(int in, int kernel, int stride, int pad) {
   return (in + 2 * pad - kernel) / stride + 1;

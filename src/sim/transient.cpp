@@ -2,11 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace pdnn::sim {
+
+int resolve_sim_batch(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("PDNN_SIM_BATCH")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return 8;
+}
 
 TransientSimulator::TransientSimulator(const pdn::PowerGrid& grid,
                                        TransientOptions options)
@@ -76,14 +86,8 @@ TransientResult TransientSimulator::simulate(
   // Initial condition: DC operating point at the first sample (inductors
   // shorted), so the run starts in steady state rather than with a spurious
   // power-on transient.
-  std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
-  for (std::size_t i = 0; i < bumps.size(); ++i) {
-    rhs[static_cast<std::size_t>(bumps[i].node)] += bump_g_dc_[i] * vdd;
-  }
-  for (int j = 0; j < trace.num_loads(); ++j) {
-    rhs[static_cast<std::size_t>(loads[static_cast<std::size_t>(j)])] -=
-        trace.at(0, j);
-  }
+  std::vector<double> rhs =
+      dc_rhs([&](int j) -> double { return trace.at(0, j); });
   std::vector<double> v(static_cast<std::size_t>(n), vdd);
   dc_solver_->solve(rhs, v);
 
@@ -142,22 +146,146 @@ TransientResult TransientSimulator::simulate(
   return result;
 }
 
-util::MapF TransientSimulator::static_ir_map(
-    const std::vector<double>& load_currents) const {
+std::vector<TransientResult> TransientSimulator::simulate_batch(
+    std::span<const vectors::CurrentTrace> traces) const {
+  const int batch = static_cast<int>(traces.size());
+  if (batch == 0) return {};
+  const int n = grid_.num_nodes();
+  const double dt = options_.dt;
+  const double vdd = grid_.spec().vdd;
+  const auto& loads = grid_.load_nodes();
+  const auto& bumps = grid_.bumps();
+  const auto& cap = grid_.node_capacitance();
+  const int steps = traces[0].num_steps();
+  for (const vectors::CurrentTrace& t : traces) {
+    PDN_CHECK(t.num_loads() == static_cast<int>(loads.size()),
+              "simulate_batch: trace/load count mismatch");
+    PDN_CHECK(t.num_steps() == steps,
+              "simulate_batch: traces in a batch must share num_steps");
+  }
+
+  util::WallTimer timer;
+  const std::size_t ns = static_cast<std::size_t>(n);
+  const std::size_t nb = bumps.size();
+
+  // Column-major n x batch blocks; column c carries trace c and undergoes
+  // exactly the serial simulate() operation sequence.
+  std::vector<double> rhs(ns * static_cast<std::size_t>(batch));
+  std::vector<double> v(ns * static_cast<std::size_t>(batch), vdd);
+  for (int c = 0; c < batch; ++c) {
+    const std::vector<double> col =
+        dc_rhs([&](int j) -> double { return traces[c].at(0, j); });
+    std::copy(col.begin(), col.end(),
+              rhs.begin() + static_cast<std::size_t>(c) * ns);
+  }
+  dc_solver_->solve_multi(rhs.data(), v.data(), batch);
+
+  // Initial inductor currents from each column's DC point.
+  std::vector<double> bump_i(nb * static_cast<std::size_t>(batch));
+  for (int c = 0; c < batch; ++c) {
+    const double* vc = v.data() + static_cast<std::size_t>(c) * ns;
+    double* ic = bump_i.data() + static_cast<std::size_t>(c) * nb;
+    for (std::size_t i = 0; i < nb; ++i) {
+      ic[i] =
+          bump_g_dc_[i] * (vdd - vc[static_cast<std::size_t>(bumps[i].node)]);
+    }
+  }
+
+  std::vector<std::vector<float>> worst(
+      static_cast<std::size_t>(batch),
+      std::vector<float>(ns, 0.0f));
+  const auto record = [&](const std::vector<double>& volt) {
+    for (int c = 0; c < batch; ++c) {
+      const double* vc = volt.data() + static_cast<std::size_t>(c) * ns;
+      std::vector<float>& wc = worst[static_cast<std::size_t>(c)];
+      for (int i = 0; i < n; ++i) {
+        const float droop =
+            static_cast<float>(vdd - vc[static_cast<std::size_t>(i)]);
+        wc[static_cast<std::size_t>(i)] =
+            std::max(wc[static_cast<std::size_t>(i)], droop);
+      }
+    }
+  };
+  record(v);
+
+  // Lockstep backward-Euler stepping: batched RHS assembly, one multi-RHS
+  // solve per step. v/v_next swap exactly like the serial loop so iterative
+  // solvers see the same warm starts per column.
+  std::vector<double> v_next = v;
+  for (int k = 1; k < steps; ++k) {
+    for (int c = 0; c < batch; ++c) {
+      double* rc = rhs.data() + static_cast<std::size_t>(c) * ns;
+      const double* vc = v.data() + static_cast<std::size_t>(c) * ns;
+      const double* ic = bump_i.data() + static_cast<std::size_t>(c) * nb;
+      for (int i = 0; i < n; ++i) {
+        rc[static_cast<std::size_t>(i)] = cap[static_cast<std::size_t>(i)] /
+                                          dt * vc[static_cast<std::size_t>(i)];
+      }
+      for (std::size_t i = 0; i < nb; ++i) {
+        rc[static_cast<std::size_t>(bumps[i].node)] +=
+            bump_g_[i] * vdd + bump_hist_[i] * ic[i];
+      }
+      const float* step = traces[c].step_data(k);
+      for (int j = 0; j < traces[c].num_loads(); ++j) {
+        rc[static_cast<std::size_t>(loads[static_cast<std::size_t>(j)])] -=
+            step[j];
+      }
+    }
+    solver_->solve_multi(rhs.data(), v_next.data(), batch);
+    for (int c = 0; c < batch; ++c) {
+      const double* vc = v_next.data() + static_cast<std::size_t>(c) * ns;
+      double* ic = bump_i.data() + static_cast<std::size_t>(c) * nb;
+      for (std::size_t i = 0; i < nb; ++i) {
+        ic[i] =
+            bump_g_[i] * (vdd - vc[static_cast<std::size_t>(bumps[i].node)]) +
+            bump_hist_[i] * ic[i];
+      }
+    }
+    v.swap(v_next);
+    record(v);
+  }
+
+  // Wall time is shared across the lockstep batch; attribute it evenly so
+  // per-vector cost sums (core::simulate_dataset) stay meaningful.
+  const double seconds_per_trace = timer.seconds() / batch;
+  std::vector<TransientResult> results(static_cast<std::size_t>(batch));
+  for (int c = 0; c < batch; ++c) {
+    TransientResult& r = results[static_cast<std::size_t>(c)];
+    r.node_worst_noise = std::move(worst[static_cast<std::size_t>(c)]);
+    r.tile_worst_noise = tile_reduce(r.node_worst_noise);
+    r.solve_seconds = seconds_per_trace;
+    r.num_steps = steps;
+  }
+  return results;
+}
+
+std::vector<double> TransientSimulator::dc_rhs(
+    const std::function<double(int)>& load_current) const {
   const int n = grid_.num_nodes();
   const double vdd = grid_.spec().vdd;
   const auto& loads = grid_.load_nodes();
-  PDN_CHECK(load_currents.size() == loads.size(),
-            "static_ir_map: load count mismatch");
-
-  std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
   const auto& bumps = grid_.bumps();
+  std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
   for (std::size_t i = 0; i < bumps.size(); ++i) {
     rhs[static_cast<std::size_t>(bumps[i].node)] += bump_g_dc_[i] * vdd;
   }
   for (std::size_t j = 0; j < loads.size(); ++j) {
-    rhs[static_cast<std::size_t>(loads[j])] -= load_currents[j];
+    rhs[static_cast<std::size_t>(loads[j])] -=
+        load_current(static_cast<int>(j));
   }
+  return rhs;
+}
+
+util::MapF TransientSimulator::static_ir_map(
+    const std::vector<double>& load_currents) const {
+  const int n = grid_.num_nodes();
+  const double vdd = grid_.spec().vdd;
+  PDN_CHECK(load_currents.size() == grid_.load_nodes().size(),
+            "static_ir_map: load count mismatch");
+
+  std::vector<double> rhs = dc_rhs([&](int j) -> double {
+    return load_currents[static_cast<std::size_t>(j)];
+  });
   std::vector<double> v(static_cast<std::size_t>(n), vdd);
   dc_solver_->solve(rhs, v);
 

@@ -10,6 +10,8 @@
 // (s)" runtime column of Table 2.
 #pragma once
 
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "pdn/power_grid.hpp"
@@ -23,6 +25,12 @@ struct TransientOptions {
   double dt = 1e-12;  ///< integration step (paper: 1 ps)
   sparse::SolverKind solver = sparse::SolverKind::kCholesky;
 };
+
+/// Batch width for simulate_batch call sites: `requested` if positive, else
+/// the PDNN_SIM_BATCH environment variable if set to a positive integer,
+/// else 8 (the width where factor streaming is fully amortized on the
+/// Table-1 designs). Batch width never changes results — see simulate_batch.
+int resolve_sim_batch(int requested = 0);
 
 /// Output of one dynamic analysis run.
 struct TransientResult {
@@ -51,6 +59,17 @@ class TransientSimulator {
   /// generation runs (core::simulate_dataset).
   TransientResult simulate(const vectors::CurrentTrace& trace) const;
 
+  /// Run dynamic analysis over B traces in lockstep: batched RHS assembly,
+  /// one multi-RHS solve per time step (LinearSolver::solve_multi), batched
+  /// inductor companion-state update and worst-noise recording. All traces
+  /// must share num_steps. Column c performs exactly the operations of
+  /// simulate(traces[c]) in the same order — no arithmetic ever crosses
+  /// columns — so every result is bit-identical to the serial path at any
+  /// batch width; batching only amortizes factor streaming across traces.
+  /// Thread-safe under the same contract as simulate().
+  std::vector<TransientResult> simulate_batch(
+      std::span<const vectors::CurrentTrace> traces) const;
+
   /// Static (DC) analysis: inductors shorted, capacitors open. Returns the
   /// per-tile IR-drop map for the given per-load DC currents.
   util::MapF static_ir_map(const std::vector<double>& load_currents) const;
@@ -61,6 +80,12 @@ class TransientSimulator {
 
  private:
   util::MapF tile_reduce(const std::vector<float>& node_noise) const;
+
+  /// DC right-hand side (inductors shorted): bump injections plus load
+  /// draws, shared by simulate()'s initial condition, simulate_batch(), and
+  /// static_ir_map(). `load_current(j)` returns the draw of load j, amperes.
+  std::vector<double> dc_rhs(
+      const std::function<double(int)>& load_current) const;
 
   const pdn::PowerGrid& grid_;
   TransientOptions options_;

@@ -76,43 +76,71 @@ void BandCholesky::solve(const std::vector<double>& b,
   PDN_CHECK(factored(), "BandCholesky::solve before factor");
   PDN_CHECK(static_cast<int>(b.size()) == n_,
             "BandCholesky::solve: size mismatch");
-  const std::size_t stride = static_cast<std::size_t>(bw_) + 1;
+  // Single-RHS solve is the B=1 case of the blocked kernel. Routing it
+  // through the same code keeps serial and batched transient results
+  // bit-identical regardless of how the compiler contracts/vectorizes the
+  // substitution loops (-ffp-contract=fast would otherwise let two separate
+  // implementations round differently at the ULP level).
+  x.assign(static_cast<std::size_t>(n_), 0.0);
+  solve_multi(b.data(), x.data(), 1);
+}
 
-  // Permute b into factor ordering.
-  std::vector<double> y(static_cast<std::size_t>(n_));
+void BandCholesky::solve_multi(const double* b, double* x, int batch) const {
+  PDN_CHECK(factored(), "BandCholesky::solve_multi before factor");
+  PDN_CHECK(batch > 0, "BandCholesky::solve_multi: non-positive batch");
+  const std::size_t stride = static_cast<std::size_t>(bw_) + 1;
+  const std::size_t bsz = static_cast<std::size_t>(batch);
+
+  // Interleave the permuted right-hand sides: y[i*batch + c] holds column c
+  // at (factor-ordered) node i, so the inner per-column loops below are
+  // contiguous and vectorizable.
+  std::vector<double> y(static_cast<std::size_t>(n_) * bsz);
   for (int i = 0; i < n_; ++i) {
-    y[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(perm_[i])];
+    const std::size_t src = static_cast<std::size_t>(perm_[i]);
+    double* yi = y.data() + static_cast<std::size_t>(i) * bsz;
+    for (std::size_t c = 0; c < bsz; ++c) {
+      yi[c] = b[c * static_cast<std::size_t>(n_) + src];
+    }
   }
 
-  // Forward substitution: L z = y (in place).
+  // Forward substitution: L z = y. Identical per-column operation order to
+  // solve(): subtract the j terms in ascending j, then divide by the pivot.
   for (int i = 0; i < n_; ++i) {
     const double* row = band_.data() + static_cast<std::size_t>(i) * stride;
     const int j_lo = std::max(0, i - bw_);
-    double acc = y[static_cast<std::size_t>(i)];
+    double* yi = y.data() + static_cast<std::size_t>(i) * bsz;
     const double* pl = row + (j_lo - i + bw_);
     for (int j = j_lo; j < i; ++j) {
-      acc -= *pl++ * y[static_cast<std::size_t>(j)];
+      const double l = *pl++;
+      const double* yj = y.data() + static_cast<std::size_t>(j) * bsz;
+      for (std::size_t c = 0; c < bsz; ++c) yi[c] -= l * yj[c];
     }
-    y[static_cast<std::size_t>(i)] = acc / row[bw_];
+    const double d = row[bw_];
+    for (std::size_t c = 0; c < bsz; ++c) yi[c] = yi[c] / d;
   }
 
-  // Backward substitution: L^T x = z (in place). Column-oriented: once x[i]
-  // is known, subtract L(i, j) * x[i] from all equations j < i in its band.
+  // Backward substitution: L^T x = z, column-oriented exactly like solve().
   for (int i = n_ - 1; i >= 0; --i) {
     const double* row = band_.data() + static_cast<std::size_t>(i) * stride;
-    const double xi = y[static_cast<std::size_t>(i)] / row[bw_];
-    y[static_cast<std::size_t>(i)] = xi;
+    double* yi = y.data() + static_cast<std::size_t>(i) * bsz;
+    const double d = row[bw_];
+    for (std::size_t c = 0; c < bsz; ++c) yi[c] = yi[c] / d;
     const int j_lo = std::max(0, i - bw_);
     const double* pl = row + (j_lo - i + bw_);
     for (int j = j_lo; j < i; ++j) {
-      y[static_cast<std::size_t>(j)] -= *pl++ * xi;
+      const double l = *pl++;
+      double* yj = y.data() + static_cast<std::size_t>(j) * bsz;
+      for (std::size_t c = 0; c < bsz; ++c) yj[c] -= l * yi[c];
     }
   }
 
-  // Un-permute.
-  x.assign(static_cast<std::size_t>(n_), 0.0);
+  // Un-permute back into column-major output.
   for (int i = 0; i < n_; ++i) {
-    x[static_cast<std::size_t>(perm_[i])] = y[static_cast<std::size_t>(i)];
+    const std::size_t dst = static_cast<std::size_t>(perm_[i]);
+    const double* yi = y.data() + static_cast<std::size_t>(i) * bsz;
+    for (std::size_t c = 0; c < bsz; ++c) {
+      x[c * static_cast<std::size_t>(n_) + dst] = yi[c];
+    }
   }
 }
 

@@ -25,6 +25,16 @@ class BandCholesky {
   /// Solve A x = b for one right-hand side. Requires factor() first.
   void solve(const std::vector<double>& b, std::vector<double>& x) const;
 
+  /// Solve A X = B for `batch` right-hand sides stored column-major (column
+  /// j occupies b[j*n .. j*n + n)); x uses the same layout and may alias b.
+  /// The substitution kernels walk each factor row once and update every
+  /// column in its inner loop, so the factor streams from memory once per
+  /// pass instead of once per right-hand side. Each column undergoes exactly
+  /// the floating-point operations of solve() in the same order (there is no
+  /// cross-column arithmetic), so column j of the result is bit-identical to
+  /// a single-RHS solve of that column.
+  void solve_multi(const double* b, double* x, int batch) const;
+
   bool factored() const { return n_ > 0; }
   int rows() const { return n_; }
   int band() const { return bw_; }

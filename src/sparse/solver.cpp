@@ -1,5 +1,7 @@
 #include "sparse/solver.hpp"
 
+#include <algorithm>
+
 #include "sparse/amg.hpp"
 #include "sparse/cholesky.hpp"
 #include "sparse/pcg.hpp"
@@ -30,6 +32,25 @@ std::string to_string(SolverKind kind) {
   return "?";
 }
 
+void LinearSolver::solve_multi(const double* b, double* x, int batch) const {
+  const int n = rows();
+  PDN_CHECK(n > 0, "LinearSolver::solve_multi before prepare");
+  PDN_CHECK(batch > 0, "LinearSolver::solve_multi: non-positive batch");
+  // Column-by-column fallback: each column round-trips through solve() with
+  // its warm start preserved, so results match per-column single-RHS solves
+  // bit for bit.
+  std::vector<double> bc(static_cast<std::size_t>(n));
+  std::vector<double> xc(static_cast<std::size_t>(n));
+  for (int c = 0; c < batch; ++c) {
+    const double* bcol = b + static_cast<std::size_t>(c) * n;
+    double* xcol = x + static_cast<std::size_t>(c) * n;
+    std::copy(bcol, bcol + n, bc.begin());
+    std::copy(xcol, xcol + n, xc.begin());
+    solve(bc, xc);
+    std::copy(xc.begin(), xc.end(), xcol);
+  }
+}
+
 namespace {
 
 class CholeskySolver final : public LinearSolver {
@@ -39,6 +60,10 @@ class CholeskySolver final : public LinearSolver {
              std::vector<double>& x) const override {
     chol_.solve(b, x);
   }
+  void solve_multi(const double* b, double* x, int batch) const override {
+    chol_.solve_multi(b, x, batch);
+  }
+  int rows() const override { return chol_.rows(); }
   std::string name() const override { return "cholesky"; }
 
  private:
@@ -60,6 +85,7 @@ class PcgSolverImpl final : public LinearSolver {
     const PcgStats stats = pcg_solve(a_, *precond_, b, x);
     PDN_CHECK(stats.converged, "PCG failed to converge");
   }
+  int rows() const override { return a_.rows(); }
   std::string name() const override { return name_; }
 
  private:

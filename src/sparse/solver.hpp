@@ -38,6 +38,21 @@ class LinearSolver {
   virtual void solve(const std::vector<double>& b,
                      std::vector<double>& x) const = 0;
 
+  /// Solve A X = B for `batch` right-hand sides stored column-major (column
+  /// j at b[j*n .. j*n + n), same layout for x; x must not alias b). Column
+  /// semantics match solve() exactly: iterative implementations warm-start
+  /// column j from the value already in x's column j, and every column is
+  /// bit-identical to a solve() of that column alone — batching is purely a
+  /// memory-traffic optimization, never a numerical one. The base
+  /// implementation loops over columns through solve(); the direct solver
+  /// overrides it with a blocked substitution kernel that streams the factor
+  /// once for all columns. Thread-safety matches solve().
+  virtual void solve_multi(const double* b, double* x, int batch) const;
+
+  /// Rows of the prepared matrix (0 before prepare()); the column stride of
+  /// solve_multi blocks.
+  virtual int rows() const = 0;
+
   virtual std::string name() const = 0;
 
   static std::unique_ptr<LinearSolver> create(SolverKind kind);

@@ -107,6 +107,44 @@ TEST(Gemm, BetaZeroOverwritesGarbage) {
   for (float v : c) EXPECT_FALSE(std::isnan(v));
 }
 
+TEST(Gemm, ZeroOperandPropagatesNanAndInfNn) {
+  // A zero in A must not suppress a non-finite contribution from B:
+  // 0 * NaN = NaN and 0 * Inf = NaN under IEEE/BLAS semantics. A fast path
+  // skipping zero A entries silently dropped these terms.
+  const int m = 2, n = 3, k = 2;
+  const std::vector<float> a{0.0f, 1.0f,   // row 0 hits B's non-finite row
+                             2.0f, 3.0f};  // with a zero coefficient
+  std::vector<float> b(6, 1.0f);
+  b[0] = std::numeric_limits<float>::quiet_NaN();  // B(0,0)
+  b[1] = std::numeric_limits<float>::infinity();   // B(0,1)
+  std::vector<float> c(6, 0.0f);
+  linalg::gemm_nn(m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c.data(), n);
+  EXPECT_TRUE(std::isnan(c[0]));  // 0*NaN + 1*1
+  EXPECT_TRUE(std::isnan(c[1]));  // 0*Inf + 1*1
+  EXPECT_FLOAT_EQ(c[2], 1.0f);
+  EXPECT_TRUE(std::isnan(c[3]));  // 2*NaN + 3*1
+  EXPECT_TRUE(std::isinf(c[4]));  // 2*Inf + 3*1
+  EXPECT_FLOAT_EQ(c[5], 5.0f);
+}
+
+TEST(Gemm, ZeroOperandPropagatesNanAndInfTn) {
+  const int m = 2, n = 3, k = 2;
+  // A is K x M for TN; A(0,0) = 0 multiplies B's non-finite row 0.
+  const std::vector<float> a{0.0f, 2.0f,   // A(0,:)
+                             1.0f, 3.0f};  // A(1,:)
+  std::vector<float> b(6, 1.0f);
+  b[0] = std::numeric_limits<float>::quiet_NaN();  // B(0,0)
+  b[1] = std::numeric_limits<float>::infinity();   // B(0,1)
+  std::vector<float> c(6, 0.0f);
+  linalg::gemm_tn(m, n, k, 1.0f, a.data(), m, b.data(), n, 0.0f, c.data(), n);
+  EXPECT_TRUE(std::isnan(c[0]));  // 0*NaN + 1*1
+  EXPECT_TRUE(std::isnan(c[1]));  // 0*Inf + 1*1
+  EXPECT_FLOAT_EQ(c[2], 1.0f);
+  EXPECT_TRUE(std::isnan(c[3]));  // 2*NaN + 3*1
+  EXPECT_TRUE(std::isinf(c[4]));  // 2*Inf + 3*1
+  EXPECT_FLOAT_EQ(c[5], 5.0f);
+}
+
 TEST(Gemm, AxpyAndDot) {
   std::vector<float> x{1, 2, 3};
   std::vector<float> y{4, 5, 6};

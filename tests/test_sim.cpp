@@ -2,7 +2,9 @@
 // dynamic-vs-static behaviour (package resonance), and solver consistency.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "pdn/power_grid.hpp"
 #include "sim/calibrate.hpp"
@@ -158,6 +160,89 @@ TEST(Transient, TileNoiseIsMaxOverNodes) {
         node_max, result.node_worst_noise[static_cast<std::size_t>(node)]);
   }
   EXPECT_FLOAT_EQ(result.tile_worst_noise.max_value(), node_max);
+}
+
+TEST(Transient, SimulateBatchBitIdenticalToSerial) {
+  // The batched lockstep engine is a pure memory-traffic optimization:
+  // node and tile worst-noise maps must memcmp-equal the serial simulate()
+  // results at every batch width.
+  const pdn::PowerGrid grid(tiny_spec());
+  sim::TransientSimulator simulator(grid, {});
+  vectors::VectorGenParams params;
+  params.num_steps = 30;
+  vectors::TestVectorGenerator gen(grid, params, 11);
+  std::vector<vectors::CurrentTrace> traces;
+  for (int i = 0; i < 5; ++i) traces.push_back(gen.generate());
+
+  std::vector<sim::TransientResult> serial;
+  for (const auto& t : traces) serial.push_back(simulator.simulate(t));
+  ASSERT_GT(serial.front().tile_worst_noise.max_value(), 0.0f);
+
+  for (const std::size_t batch : {1u, 2u, 3u, 5u}) {
+    for (std::size_t begin = 0; begin < traces.size(); begin += batch) {
+      const std::size_t width = std::min(batch, traces.size() - begin);
+      const auto results =
+          simulator.simulate_batch({traces.data() + begin, width});
+      ASSERT_EQ(results.size(), width);
+      for (std::size_t c = 0; c < width; ++c) {
+        const sim::TransientResult& got = results[c];
+        const sim::TransientResult& want = serial[begin + c];
+        ASSERT_EQ(got.node_worst_noise.size(), want.node_worst_noise.size());
+        EXPECT_EQ(0, std::memcmp(got.node_worst_noise.data(),
+                                 want.node_worst_noise.data(),
+                                 want.node_worst_noise.size() * sizeof(float)))
+            << "batch " << batch << " trace " << begin + c;
+        EXPECT_EQ(0,
+                  std::memcmp(got.tile_worst_noise.data(),
+                              want.tile_worst_noise.data(),
+                              want.tile_worst_noise.storage().size() *
+                                  sizeof(float)))
+            << "batch " << batch << " trace " << begin + c;
+        EXPECT_EQ(got.num_steps, want.num_steps);
+      }
+    }
+  }
+}
+
+TEST(Transient, SimulateBatchBitIdenticalForIterativeSolver) {
+  // The loop-over-columns solve_multi fallback must preserve per-column
+  // warm-start semantics, keeping PCG batches bit-identical to serial runs.
+  const pdn::PowerGrid grid(tiny_spec());
+  sim::TransientOptions opt;
+  opt.solver = sparse::SolverKind::kPcgIc0;
+  sim::TransientSimulator simulator(grid, opt);
+  vectors::VectorGenParams params;
+  params.num_steps = 25;
+  vectors::TestVectorGenerator gen(grid, params, 13);
+  std::vector<vectors::CurrentTrace> traces;
+  for (int i = 0; i < 3; ++i) traces.push_back(gen.generate());
+
+  const auto results = simulator.simulate_batch({traces.data(), 3});
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto want = simulator.simulate(traces[c]);
+    EXPECT_EQ(0, std::memcmp(results[c].node_worst_noise.data(),
+                             want.node_worst_noise.data(),
+                             want.node_worst_noise.size() * sizeof(float)))
+        << "trace " << c;
+  }
+}
+
+TEST(Transient, SimulateBatchEdgeCases) {
+  const pdn::PowerGrid grid(tiny_spec());
+  sim::TransientSimulator simulator(grid, {});
+  EXPECT_TRUE(simulator.simulate_batch({}).empty());
+
+  // Traces in one batch must share the step count.
+  std::vector<vectors::CurrentTrace> mixed;
+  mixed.push_back(constant_trace(grid, 10, 0.01f));
+  mixed.push_back(constant_trace(grid, 12, 0.01f));
+  EXPECT_THROW(simulator.simulate_batch({mixed.data(), 2}), util::CheckError);
+}
+
+TEST(Transient, ResolveSimBatchPrefersExplicitRequest) {
+  EXPECT_EQ(sim::resolve_sim_batch(3), 3);
+  EXPECT_GE(sim::resolve_sim_batch(0), 1);  // env override or the default 8
 }
 
 TEST(Transient, MismatchedTraceRejected) {

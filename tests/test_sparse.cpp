@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "sparse/cholesky.hpp"
@@ -287,6 +288,62 @@ TEST(Solver, FactoryRoundTrip) {
     std::vector<double> x(static_cast<std::size_t>(a.rows()), 0.0);
     solver->solve(b, x);
     EXPECT_LT(residual_norm(a, x, b), 1e-6) << solver->name();
+  }
+}
+
+TEST(Solver, SolveMultiMatchesRepeatedSingleBitExact) {
+  // The multi-RHS block path must be a pure memory-traffic optimization:
+  // every column bit-identical to a single-RHS solve, for the blocked
+  // band-Cholesky kernel and the loop-over-columns fallback alike.
+  const CsrMatrix a = grid_laplacian(9, 7, 0.3);
+  const int n = a.rows();
+  for (const auto kind :
+       {sparse::SolverKind::kCholesky, sparse::SolverKind::kPcgJacobi,
+        sparse::SolverKind::kPcgIc0, sparse::SolverKind::kPcgAmg}) {
+    auto solver = sparse::LinearSolver::create(kind);
+    solver->prepare(a);
+    ASSERT_EQ(solver->rows(), n);
+    for (const int batch : {1, 2, 3, 5}) {
+      util::Rng rng(31);
+      std::vector<double> block(static_cast<std::size_t>(n) * batch);
+      for (double& v : block) v = rng.normal();
+      std::vector<double> xblock(block.size(), 0.0);
+      solver->solve_multi(block.data(), xblock.data(), batch);
+      for (int c = 0; c < batch; ++c) {
+        const std::vector<double> b(
+            block.begin() + static_cast<std::size_t>(c) * n,
+            block.begin() + static_cast<std::size_t>(c + 1) * n);
+        std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+        solver->solve(b, x);
+        EXPECT_EQ(0,
+                  std::memcmp(x.data(),
+                              xblock.data() + static_cast<std::size_t>(c) * n,
+                              static_cast<std::size_t>(n) * sizeof(double)))
+            << solver->name() << " batch " << batch << " column " << c;
+      }
+    }
+  }
+}
+
+TEST(Cholesky, SolveMultiSolvesEveryColumn) {
+  const CsrMatrix a = grid_laplacian(12, 9, 0.4);
+  sparse::BandCholesky chol;
+  chol.factor(a);
+  const int n = a.rows();
+  constexpr int kBatch = 4;
+  util::Rng rng(17);
+  std::vector<double> b(static_cast<std::size_t>(n) * kBatch);
+  for (double& v : b) v = rng.normal();
+  std::vector<double> x(b.size(), 0.0);
+  chol.solve_multi(b.data(), x.data(), kBatch);
+  for (int c = 0; c < kBatch; ++c) {
+    const std::vector<double> bc(b.begin() + static_cast<std::size_t>(c) * n,
+                                 b.begin() +
+                                     static_cast<std::size_t>(c + 1) * n);
+    const std::vector<double> xc(x.begin() + static_cast<std::size_t>(c) * n,
+                                 x.begin() +
+                                     static_cast<std::size_t>(c + 1) * n);
+    EXPECT_LT(residual_norm(a, xc, bc), 1e-9) << "column " << c;
   }
 }
 
