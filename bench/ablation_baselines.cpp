@@ -60,11 +60,13 @@ int main(int argc, char** argv) {
   args.add_flag("gbrt-trees", "120", "GBRT ensemble size");
   if (!args.parse(argc, argv)) return 0;
   const ExperimentOptions options = options_from_args(args);
+  RunMetrics metrics("ablation_baselines", args);
 
   // --- 1. Proposed framework ----------------------------------------------
   const pdn::DesignSpec base =
       pdn::design_by_name(args.get("design"), options.scale);
   const DesignExperiment ex = run_design_experiment(base, options);
+  metrics.add_experiment(ex);
 
   // --- 2. GBRT over hand-crafted features ----------------------------------
   baseline::GbrtOptions gopt;
@@ -82,6 +84,7 @@ int main(int argc, char** argv) {
     gbrt_eval.add(pred, ex.raw.samples[static_cast<std::size_t>(ri)].truth);
   }
   gbrt_seconds /= static_cast<double>(ex.data.split.test.size());
+  metrics.lap("gbrt");
 
   // --- 3. Plain stats-map U-Net (no fusion subnet, no distance) ------------
   util::Rng rng(7);
@@ -126,10 +129,27 @@ int main(int argc, char** argv) {
                    ex.raw.samples[static_cast<std::size_t>(ri)].truth);
   }
   plain_seconds /= static_cast<double>(ex.data.split.test.size());
+  metrics.lap("plain-unet");
 
   // --- Report ---------------------------------------------------------------
   const auto ga = gbrt_eval.accuracy();
   const auto pa = plain_eval.accuracy();
+  if (metrics.enabled()) {
+    obs::JsonValue g = obs::JsonValue::object();
+    g.set("design", "gbrt-baseline");
+    g.set("train_seconds", gbrt_train_s);
+    g.set("predict_seconds_per_vector", gbrt_seconds);
+    g.set("mean_ae_mv", ga.mean_ae * 1e3);
+    g.set("mean_re", ga.mean_re);
+    metrics.add_design(std::move(g));
+    obs::JsonValue p = obs::JsonValue::object();
+    p.set("design", "plain-unet-baseline");
+    p.set("train_seconds", plain_train_s);
+    p.set("predict_seconds_per_vector", plain_seconds);
+    p.set("mean_ae_mv", pa.mean_ae * 1e3);
+    p.set("mean_re", pa.mean_re);
+    metrics.add_design(std::move(p));
+  }
   std::printf("Ablation on %s (scale=%s, %d vectors, %d epochs; GBRT train "
               "%.1fs, plain U-Net train %.1fs)\n",
               ex.spec.name.c_str(), pdn::to_string(options.scale).c_str(),
@@ -147,5 +167,6 @@ int main(int argc, char** argv) {
               plain_eval.hotspots().auc, plain_seconds);
   std::printf("\nExpected shape: the full framework (learned fusion + distance "
               "input) matches or beats both ablations in MAE/RE.\n");
+  metrics.finish();
   return 0;
 }

@@ -2,11 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
 
 namespace pdnn::bench {
 
@@ -46,6 +46,14 @@ void add_common_flags(util::ArgParser& args) {
   args.add_flag("sim-batch", "0",
                 "traces per lockstep multi-RHS transient batch "
                 "(0: PDNN_SIM_BATCH or 8; any width is bit-identical)");
+  add_metrics_flags(args);
+}
+
+void add_metrics_flags(util::ArgParser& args) {
+  args.add_flag("trace", "",
+                "write a Chrome trace-event JSON (Perfetto-loadable) here");
+  args.add_flag("metrics-json", "",
+                "write the structured run-metrics report (JSON) here");
 }
 
 ExperimentOptions options_from_args(const util::ArgParser& args) {
@@ -74,6 +82,9 @@ vectors::VectorGenParams gen_params_for(const ExperimentOptions& options) {
 DesignExperiment run_design_experiment(const pdn::DesignSpec& base_spec,
                                        const ExperimentOptions& options) {
   DesignExperiment ex;
+  ex.counters_before = obs::snapshot_counters();
+  obs::StageTimer total;
+  obs::StageTimer stage;
   const vectors::VectorGenParams gen_params = gen_params_for(options);
 
   // 1) Calibrate to the Table-1 mean worst-case noise target.
@@ -82,11 +93,12 @@ DesignExperiment run_design_experiment(const pdn::DesignSpec& base_spec,
   ex.simulator = std::make_unique<sim::TransientSimulator>(
       *ex.grid, sim::TransientOptions{});
 
+  ex.stage_seconds.emplace_back("calibrate", stage.lap("bench.calibrate"));
+
   if (options.verbose) {
-    std::printf("[%s] %d nodes, %d loads, %zu bumps, %dx%d tiles\n",
-                ex.spec.name.c_str(), ex.grid->num_nodes(), ex.spec.num_loads,
-                ex.grid->bumps().size(), ex.spec.tile_rows, ex.spec.tile_cols);
-    std::fflush(stdout);
+    obs::logf("[%s] %d nodes, %d loads, %zu bumps, %dx%d tiles",
+              ex.spec.name.c_str(), ex.grid->num_nodes(), ex.spec.num_loads,
+              ex.grid->bumps().size(), ex.spec.tile_rows, ex.spec.tile_cols);
   }
 
   // 2) Golden dataset.
@@ -101,6 +113,7 @@ DesignExperiment run_design_experiment(const pdn::DesignSpec& base_spec,
   core::SplitOptions split;
   split.strategy = options.split;
   ex.data = core::compile_dataset(ex.raw, temporal, split);
+  ex.stage_seconds.emplace_back("dataset", stage.lap("bench.dataset"));
 
   // 3) Train.
   core::ModelConfig cfg;
@@ -121,6 +134,7 @@ DesignExperiment run_design_experiment(const pdn::DesignSpec& base_spec,
           : std::pow(0.02f, 1.0f / static_cast<float>(options.epochs));
   topt.verbose = options.verbose;
   ex.train_report = core::train_model(*ex.model, ex.data, topt);
+  ex.stage_seconds.emplace_back("train", stage.lap("bench.train"));
 
   // 4) Evaluate on the held-out test split. The proposed runtime is measured
   //    end-to-end from the raw vector through the pipeline (spatial +
@@ -161,7 +175,134 @@ DesignExperiment run_design_experiment(const pdn::DesignSpec& base_spec,
       ex.raw.total_sim_seconds / static_cast<double>(ex.raw.samples.size());
   ex.speedup =
       ex.commercial_seconds_per_vector / ex.proposed_seconds_per_vector;
+  ex.stage_seconds.emplace_back("evaluate", stage.lap("bench.evaluate"));
+  ex.total_seconds = total.lap("bench.design");
+  ex.counters_after = obs::snapshot_counters();
   return ex;
+}
+
+obs::JsonValue experiment_json(const DesignExperiment& ex) {
+  obs::JsonValue j = obs::JsonValue::object();
+  j.set("design", ex.spec.name);
+  j.set("nodes", ex.grid->num_nodes());
+  j.set("loads", ex.spec.num_loads);
+  j.set("bumps", static_cast<std::int64_t>(ex.grid->bumps().size()));
+
+  obs::JsonValue stages = obs::JsonValue::object();
+  for (const auto& [name, seconds] : ex.stage_seconds) {
+    stages.set(name, seconds);
+  }
+  j.set("stages", stages);
+  j.set("total_seconds", ex.total_seconds);
+
+  obs::JsonValue train = obs::JsonValue::object();
+  train.set("seconds", ex.train_report.seconds);
+  if (!ex.train_report.train_loss.empty()) {
+    train.set("final_train_loss", ex.train_report.train_loss.back());
+    train.set("final_val_loss", ex.train_report.val_loss.back());
+  }
+  j.set("train", train);
+
+  obs::JsonValue acc = obs::JsonValue::object();
+  acc.set("mean_ae_mv", ex.accuracy.mean_ae * 1e3);
+  acc.set("p99_ae_mv", ex.accuracy.p99_ae * 1e3);
+  acc.set("max_ae_mv", ex.accuracy.max_ae * 1e3);
+  acc.set("mean_re", ex.accuracy.mean_re);
+  acc.set("max_re", ex.accuracy.max_re);
+  acc.set("hotspot_missing_rate", ex.hotspots.missing_rate);
+  acc.set("hotspot_false_alarm_rate", ex.hotspots.false_alarm_rate);
+  acc.set("hotspot_auc", ex.hotspots.auc);
+  j.set("accuracy", acc);
+
+  obs::JsonValue timing = obs::JsonValue::object();
+  timing.set("proposed_seconds_per_vector", ex.proposed_seconds_per_vector);
+  timing.set("commercial_seconds_per_vector",
+             ex.commercial_seconds_per_vector);
+  timing.set("speedup", ex.speedup);
+  j.set("timing", timing);
+
+  j.set("counters", obs::counters_json(ex.counters_before, ex.counters_after));
+  return j;
+}
+
+RunMetrics::RunMetrics(std::string bench_name, const util::ArgParser& args)
+    : bench_(std::move(bench_name)),
+      trace_path_(args.get("trace")),
+      metrics_path_(args.get("metrics-json")) {
+  // Either output implies collection. With only --metrics-json the span ring
+  // buffers still fill (bounded memory) but are never serialized.
+  if (enabled()) obs::set_enabled(true);
+  start_ = obs::snapshot_counters();
+  extra_ = obs::JsonValue::object();
+  designs_ = obs::JsonValue::array();
+}
+
+double RunMetrics::lap(const std::string& name) {
+  // StageTimer::lap wants a literal for the trace; run-level stage names are
+  // dynamic, so record the boundary without a span and keep only the report.
+  const double seconds = laps_.seconds();
+  laps_.reset();
+  stage_add(name, seconds);
+  return seconds;
+}
+
+void RunMetrics::add_experiment(const DesignExperiment& ex) {
+  for (const auto& [name, seconds] : ex.stage_seconds) {
+    stage_add(name, seconds);
+  }
+  laps_.reset();  // experiment time is accounted; next lap starts here
+  designs_.push(experiment_json(ex));
+}
+
+void RunMetrics::add_design(obs::JsonValue design) {
+  designs_.push(std::move(design));
+}
+
+void RunMetrics::set(const std::string& key, obs::JsonValue value) {
+  extra_.set(key, std::move(value));
+}
+
+void RunMetrics::stage_add(const std::string& name, double seconds) {
+  for (auto& entry : stages_) {
+    if (entry.first == name) {
+      entry.second += seconds;
+      return;
+    }
+  }
+  stages_.emplace_back(name, seconds);
+}
+
+void RunMetrics::finish() {
+  if (finished_ || !enabled()) return;
+  finished_ = true;
+  const double total = total_.seconds();
+
+  obs::JsonValue root = obs::JsonValue::object();
+  root.set("bench", bench_);
+  if (extra_.size() > 0) root.set("options", std::move(extra_));
+  obs::JsonValue stages = obs::JsonValue::object();
+  double sum = 0.0;
+  for (const auto& [name, seconds] : stages_) {
+    stages.set(name, seconds);
+    sum += seconds;
+  }
+  root.set("stages", stages);
+  root.set("stage_seconds_sum", sum);
+  root.set("total_seconds", total);
+  root.set("designs", std::move(designs_));
+  root.set("counters", obs::counters_json(start_, obs::snapshot_counters()));
+
+  if (!metrics_path_.empty()) {
+    std::ofstream out(metrics_path_);
+    if (out) {
+      out << root.dump() << '\n';
+    } else {
+      obs::logf("metrics: cannot write %s", metrics_path_.c_str());
+    }
+  }
+  if (!trace_path_.empty() && !obs::write_trace(trace_path_)) {
+    obs::logf("trace: cannot write %s", trace_path_.c_str());
+  }
 }
 
 std::string mv(double volts) {

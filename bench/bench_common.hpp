@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/dataset.hpp"
@@ -16,6 +17,8 @@
 #include "core/pipeline.hpp"
 #include "core/trainer.hpp"
 #include "eval/metrics.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
 #include "pdn/design.hpp"
 #include "pdn/power_grid.hpp"
 #include "sim/calibrate.hpp"
@@ -50,6 +53,11 @@ ExperimentOptions options_for_scale(pdn::Scale scale);
 /// Register the standard experiment flags on a parser.
 void add_common_flags(util::ArgParser& args);
 
+/// Register only the observability flags (--trace, --metrics-json); for
+/// drivers that don't take the full experiment flag set. add_common_flags
+/// already includes these.
+void add_metrics_flags(util::ArgParser& args);
+
 /// Build options from parsed flags.
 ExperimentOptions options_from_args(const util::ArgParser& args);
 
@@ -72,6 +80,17 @@ struct DesignExperiment {
 
   /// Per-test-sample predicted maps (volts), parallel to data.split.test.
   std::vector<util::MapF> test_predictions;
+
+  /// Contiguous per-stage wall times (laps of one StageTimer: each stage
+  /// ends where the next begins) and an independently measured total, so the
+  /// stages sum to the total up to clock-read jitter.
+  std::vector<std::pair<std::string, double>> stage_seconds;
+  double total_seconds = 0.0;
+
+  /// Counter snapshots bracketing the experiment; the delta is this design's
+  /// solver/NN work (see obs::counter_reading).
+  obs::CounterSnapshot counters_before{};
+  obs::CounterSnapshot counters_after{};
 };
 
 /// Run the full flow for one design.
@@ -80,6 +99,56 @@ DesignExperiment run_design_experiment(const pdn::DesignSpec& base_spec,
 
 /// Generator parameters implied by the experiment options.
 vectors::VectorGenParams gen_params_for(const ExperimentOptions& options);
+
+/// One design's metrics as a JSON object: stages, accuracy, timing, and the
+/// counter deltas attributable to that experiment.
+obs::JsonValue experiment_json(const DesignExperiment& ex);
+
+/// Structured metrics report + trace sink for one bench run (--trace /
+/// --metrics-json). Construct after parsing flags; instrumentation turns on
+/// when either output was requested. Call finish() once, after the last
+/// stage, to write the files.
+class RunMetrics {
+ public:
+  RunMetrics(std::string bench_name, const util::ArgParser& args);
+
+  /// True when --trace or --metrics-json was given.
+  bool enabled() const {
+    return !trace_path_.empty() || !metrics_path_.empty();
+  }
+
+  /// End the current run-level stage (laps are contiguous, so stages tile
+  /// the run and their sum tracks the total). Returns the stage seconds.
+  double lap(const std::string& name);
+
+  /// Fold one experiment into the report: its stages accumulate into the
+  /// run-level stages and its JSON object joins the "designs" array.
+  void add_experiment(const DesignExperiment& ex);
+
+  /// Append an arbitrary object to the "designs" array.
+  void add_design(obs::JsonValue design);
+
+  /// Set a field under the report's "options" object (run parameters).
+  void set(const std::string& key, obs::JsonValue value);
+
+  /// Write the metrics JSON and/or the Chrome trace, as requested. No-op
+  /// when neither flag was given.
+  void finish();
+
+ private:
+  void stage_add(const std::string& name, double seconds);
+
+  std::string bench_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  obs::StageTimer laps_;
+  obs::StageTimer total_;
+  obs::CounterSnapshot start_{};
+  std::vector<std::pair<std::string, double>> stages_;
+  obs::JsonValue extra_;
+  obs::JsonValue designs_;
+  bool finished_ = false;
+};
 
 /// Format helpers.
 std::string mv(double volts);       ///< "0.98mV"

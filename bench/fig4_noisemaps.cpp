@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
                 "output directory for images");
   if (!args.parse(argc, argv)) return 0;
   const ExperimentOptions options = options_from_args(args);
+  RunMetrics metrics("fig4_noisemaps", args);
   const std::string outdir = args.get("outdir");
   util::ensure_directory(outdir);
 
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   for (const char* name : {"D1", "D2", "D3"}) {
     const pdn::DesignSpec base = pdn::design_by_name(name, options.scale);
     const DesignExperiment ex = run_design_experiment(base, options);
+    metrics.add_experiment(ex);
 
     // First held-out test vector.
     const int idx = ex.data.split.test.front();
@@ -70,5 +72,6 @@ int main(int argc, char** argv) {
   std::printf("Images exported to %s/ (PGM + CSV).\n"
               "Expected shape (paper): predicted maps nearly identical to the "
               "ground truth, hotspot regions aligned.\n", outdir.c_str());
+  metrics.finish();
   return 0;
 }

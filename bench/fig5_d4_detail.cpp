@@ -22,9 +22,11 @@ int main(int argc, char** argv) {
   const std::string outdir = args.get("outdir");
   util::ensure_directory(outdir);
 
+  RunMetrics metrics("fig5_d4_detail", args);
   const pdn::DesignSpec base =
       pdn::design_by_name(args.get("design"), options.scale);
   const DesignExperiment ex = run_design_experiment(base, options);
+  metrics.add_experiment(ex);
 
   // (a) Histogram of relative errors across every test tile.
   eval::MapEvaluator evaluator(ex.spec.vdd);
@@ -102,5 +104,6 @@ int main(int argc, char** argv) {
               "high-RE tiles carry small absolute noise.\n",
               pct(ex.accuracy.mean_re).c_str(), pct(ex.accuracy.p99_re).c_str(),
               ex.hotspots.auc, outdir.c_str());
+  metrics.finish();
   return 0;
 }

@@ -28,7 +28,9 @@ int main(int argc, char** argv) {
   args.add_flag("strategy", "algorithm1", "algorithm1|uniform (ablation)");
   if (!args.parse(argc, argv)) return 0;
   ExperimentOptions options = options_from_args(args);
+  RunMetrics metrics("fig6_compression", args);
   const bool uniform = args.get("strategy") == "uniform";
+  metrics.set("strategy", uniform ? "uniform" : "algorithm1");
 
   // Parse rate list.
   std::vector<double> rates;
@@ -60,8 +62,10 @@ int main(int argc, char** argv) {
     vectors::TestVectorGenerator gen(grid, gen_params, spec.seed);
     core::RawDataset raw =
         core::simulate_dataset(grid, simulator, gen, options.num_vectors);
+    metrics.lap("simulate");
 
     for (double rate : rates) {
+      const obs::CounterSnapshot before = obs::snapshot_counters();
       core::TemporalCompressionOptions temporal;
       temporal.rate = rate;
       temporal.rate_step = options.rate_step;
@@ -126,10 +130,23 @@ int main(int argc, char** argv) {
       }
       seconds /= static_cast<double>(data.split.test.size());
 
+      metrics.lap("sweep-point");
       std::printf("%-7s %6.2f | %9s %12.5f %12d\n", spec.name.c_str(), rate,
                   pct(evaluator.accuracy().mean_re).c_str(), seconds,
                   kept_steps);
       std::fflush(stdout);
+
+      if (metrics.enabled()) {
+        obs::JsonValue point = obs::JsonValue::object();
+        point.set("design", spec.name);
+        point.set("rate", rate);
+        point.set("mean_re", evaluator.accuracy().mean_re);
+        point.set("predict_seconds_per_vector", seconds);
+        point.set("kept_steps", kept_steps);
+        point.set("counters",
+                  obs::counters_json(before, obs::snapshot_counters()));
+        metrics.add_design(std::move(point));
+      }
     }
   }
 
@@ -137,5 +154,6 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper Fig. 6): mean RE decreases as r grows with a "
       "knee near r=0.3 (1.19%%/1.05%% for D1/D2 at the knee); runtime grows "
       "~linearly with r.\n");
+  metrics.finish();
   return 0;
 }

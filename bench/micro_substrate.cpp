@@ -9,6 +9,7 @@
 #include "linalg/gemm.hpp"
 #include "nn/module.hpp"
 #include "nn/ops.hpp"
+#include "obs/obs.hpp"
 #include "pdn/design.hpp"
 #include "pdn/power_grid.hpp"
 #include "sim/transient.hpp"
@@ -277,11 +278,34 @@ void BM_TransientSimBatch(benchmark::State& state) {
   std::vector<vectors::CurrentTrace> traces;
   traces.reserve(static_cast<std::size_t>(batch));
   for (int i = 0; i < batch; ++i) traces.push_back(gen.generate());
+  // Counters collect while the timed loop runs so the JSON perf trajectory
+  // carries the solver work (solves, RHS columns, batch width) per
+  // iteration alongside steps/sec.
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  const obs::CounterSnapshot before = obs::snapshot_counters();
   for (auto _ : state) {
     const auto results = simulator->simulate_batch(
         {traces.data(), static_cast<std::size_t>(batch)});
     benchmark::DoNotOptimize(results.data());
   }
+  const obs::CounterSnapshot after = obs::snapshot_counters();
+  obs::set_enabled(was_enabled);
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["chol_solves"] = static_cast<double>(obs::counter_reading(
+                                      before, after, obs::Counter::kCholSolves)) /
+                                  iters;
+  state.counters["chol_columns"] =
+      static_cast<double>(obs::counter_reading(
+          before, after, obs::Counter::kCholSolveColumns)) /
+      iters;
+  state.counters["chol_batch_width_max"] =
+      static_cast<double>(obs::counter_reading(
+          before, after, obs::Counter::kCholBatchWidthMax));
+  state.counters["pcg_iterations"] =
+      static_cast<double>(obs::counter_reading(
+          before, after, obs::Counter::kPcgIterations)) /
+      iters;
   state.SetItemsProcessed(state.iterations() * batch * kSteps);
   state.SetLabel("D3 small (" + std::to_string(grid->num_nodes()) +
                  " nodes), batch " + std::to_string(batch));

@@ -19,11 +19,17 @@ int main(int argc, char** argv) {
   args.add_flag("sim-batch", "0",
                 "traces per lockstep multi-RHS transient batch "
                 "(0: PDNN_SIM_BATCH or 8; any width is bit-identical)");
+  bench::add_metrics_flags(args);
   if (!args.parse(argc, argv)) return 0;
 
   const auto scale = pdn::scale_from_string(args.get("scale"));
   const int num_vectors = args.get_int("vectors");
   const int sim_batch = sim::resolve_sim_batch(args.get_int("sim-batch"));
+
+  bench::RunMetrics metrics("table1_designs", args);
+  metrics.set("scale", pdn::to_string(scale));
+  metrics.set("vectors", num_vectors);
+  metrics.set("sim_batch", sim_batch);
 
   vectors::VectorGenParams gen_params;
   gen_params.num_steps = args.get_int("steps");
@@ -34,10 +40,12 @@ int main(int argc, char** argv) {
               "#Bumps", "MeanWN(mV)", "MaxWN(mV)", "Hotspot");
 
   for (const pdn::DesignSpec& base : pdn::all_designs(scale)) {
+    const obs::CounterSnapshot before = obs::snapshot_counters();
     const pdn::DesignSpec spec = sim::calibrate_design(base, gen_params);
     const pdn::PowerGrid grid(spec);
     sim::TransientSimulator simulator(grid, {});
     vectors::TestVectorGenerator gen(grid, gen_params, spec.seed);
+    metrics.lap("calibrate");
 
     // Mean/max worst-case noise and hotspot ratio across sample vectors,
     // evaluated per tile like the paper (threshold: 10% of Vdd = 1 V). The
@@ -66,12 +74,28 @@ int main(int argc, char** argv) {
       }
     }
     mean_wn /= num_vectors;
+    metrics.lap("simulate");
 
+    const double hotspot_ratio =
+        static_cast<double>(hot) / static_cast<double>(tiles);
     std::printf("%-7s %9d %9d %9zu %12.1f %11.1f %8.1f%%\n", spec.name.c_str(),
                 grid.num_nodes(), spec.num_loads, grid.bumps().size(),
-                mean_wn * 1e3, max_wn * 1e3,
-                100.0 * static_cast<double>(hot) / static_cast<double>(tiles));
+                mean_wn * 1e3, max_wn * 1e3, 100.0 * hotspot_ratio);
     std::fflush(stdout);
+
+    if (metrics.enabled()) {
+      obs::JsonValue d = obs::JsonValue::object();
+      d.set("design", spec.name);
+      d.set("nodes", grid.num_nodes());
+      d.set("loads", spec.num_loads);
+      d.set("bumps", static_cast<std::int64_t>(grid.bumps().size()));
+      d.set("mean_wn_mv", mean_wn * 1e3);
+      d.set("max_wn_mv", max_wn * 1e3);
+      d.set("hotspot_ratio", hotspot_ratio);
+      d.set("counters",
+            obs::counters_json(before, obs::snapshot_counters()));
+      metrics.add_design(std::move(d));
+    }
   }
 
   std::printf(
@@ -79,5 +103,6 @@ int main(int argc, char** argv) {
       "100.4/131.7/56.3%%; D2 0.58M/16.9k/91.7/128.4/30.1%%;\n"
       "D3 2.67M/122.5k/127.1/290.7/57.5%%; D4 4.40M/810k/89.0/119.9/22.5%%.\n"
       "Synthetic designs preserve the orderings; node counts are scaled.\n");
+  metrics.finish();
   return 0;
 }

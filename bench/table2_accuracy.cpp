@@ -18,6 +18,10 @@ int main(int argc, char** argv) {
   args.add_flag("designs", "D1,D2,D3,D4", "comma-separated design list");
   if (!args.parse(argc, argv)) return 0;
   const ExperimentOptions options = options_from_args(args);
+  RunMetrics metrics("table2_accuracy", args);
+  metrics.set("scale", pdn::to_string(options.scale));
+  metrics.set("vectors", options.num_vectors);
+  metrics.set("epochs", options.epochs);
 
   std::printf(
       "Table 2: accuracy and run-time, proposed framework vs golden engine "
@@ -38,6 +42,7 @@ int main(int argc, char** argv) {
 
     const pdn::DesignSpec base = pdn::design_by_name(name, options.scale);
     const DesignExperiment ex = run_design_experiment(base, options);
+    metrics.add_experiment(ex);
 
     char grid_str[32];
     std::snprintf(grid_str, sizeof(grid_str), "%dx%d", ex.spec.tile_rows,
@@ -58,5 +63,6 @@ int main(int argc, char** argv) {
       "speedup 25-69x, hotspot missing rate 0.28-1.95%%.\n"
       "Expected shape: ~1%%-level mean RE, >=1 order of magnitude speedup, "
       "~1%%-level missing rate.\n");
+  metrics.finish();
   return 0;
 }

@@ -20,11 +20,13 @@ int main(int argc, char** argv) {
   args.add_flag("pn-epochs", "5", "PowerNet training epochs");
   if (!args.parse(argc, argv)) return 0;
   const ExperimentOptions options = options_from_args(args);
+  RunMetrics metrics("table3_powernet", args);
 
   // Proposed framework: full experiment (train + evaluate).
   const pdn::DesignSpec base =
       pdn::design_by_name(args.get("design"), options.scale);
   const DesignExperiment ex = run_design_experiment(base, options);
+  metrics.add_experiment(ex);
 
   // PowerNet on the same raw data and the same split.
   baseline::PowerNetOptions pn_opt;
@@ -47,8 +49,19 @@ int main(int argc, char** argv) {
     pn_eval.add(pred, sample.truth);
   }
   pn_seconds /= static_cast<double>(ex.data.split.test.size());
+  metrics.lap("powernet");
   const auto pn_acc = pn_eval.accuracy();
   const auto pn_hot = pn_eval.hotspots();
+  if (metrics.enabled()) {
+    obs::JsonValue pn = obs::JsonValue::object();
+    pn.set("design", "powernet-baseline");
+    pn.set("train_seconds", pn_train_s);
+    pn.set("predict_seconds_per_vector", pn_seconds);
+    pn.set("mean_ae_mv", pn_acc.mean_ae * 1e3);
+    pn.set("mean_re", pn_acc.mean_re);
+    pn.set("hotspot_auc", pn_hot.auc);
+    metrics.add_design(std::move(pn));
+  }
 
   std::printf(
       "Table 3: comparison with PowerNet [13] on %s (scale=%s, %d vectors; "
@@ -70,5 +83,6 @@ int main(int argc, char** argv) {
       "23.25s; Ours 0.58mV/0.71%%/16.80%%/0.999/8.95s.\n"
       "Expected shape: ours wins MAE/RE by >=1 order of magnitude, higher "
       "AUC, and lower runtime.\n");
+  metrics.finish();
   return 0;
 }

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
-#include "util/timer.hpp"
 
 namespace pdnn::baseline {
 
@@ -105,7 +105,7 @@ std::vector<float> GbrtNoisePredictor::tile_features(
 double GbrtNoisePredictor::train(const core::RawDataset& data,
                                  const std::vector<int>& train_idx) {
   PDN_CHECK(!train_idx.empty(), "GbrtNoisePredictor: empty training set");
-  util::WallTimer timer;
+  obs::StageTimer timer;
   current_scale_ = data.current_scale;
 
   std::vector<std::vector<float>> x;
@@ -141,12 +141,12 @@ double GbrtNoisePredictor::train(const core::RawDataset& data,
     }
   }
   model_.fit(x, y);
-  return timer.seconds();
+  return timer.lap("gbrt.train");
 }
 
 util::MapF GbrtNoisePredictor::predict(const core::RawSample& sample,
                                        double* seconds) const {
-  util::WallTimer timer;
+  obs::StageTimer timer;
   const Stats s = compute_stats(sample);
   const float inv = 1.0f / current_scale_;
   util::MapF out(sample.truth.rows(), sample.truth.cols(), 0.0f);
@@ -169,7 +169,7 @@ util::MapF GbrtNoisePredictor::predict(const core::RawSample& sample,
       out(tr, tc) = model_.predict(f) * vdd_;
     }
   }
-  if (seconds) *seconds = timer.seconds();
+  if (seconds) *seconds = timer.lap("gbrt.predict");
   return out;
 }
 

@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 
 #include "nn/ops.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
-#include "util/timer.hpp"
 
 namespace pdnn::baseline {
 
@@ -141,7 +140,7 @@ nn::Tensor PowerNetRunner::tile_input(const PowerNetFeatures& f, int tr,
 double PowerNetRunner::train(const core::RawDataset& data,
                              const std::vector<int>& train_idx, bool verbose) {
   PDN_CHECK(!train_idx.empty(), "PowerNet::train: empty training set");
-  util::WallTimer timer;
+  obs::StageTimer timer;
   nn::Adam optimizer(model_.parameters(), options_.lr);
 
   // Pre-extract features once per sample.
@@ -153,6 +152,7 @@ double PowerNetRunner::train(const core::RawDataset& data,
   }
 
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("powernet.epoch", "epoch", epoch + 1);
     double epoch_loss = 0.0;
     std::int64_t count = 0;
     for (std::size_t s = 0; s < train_idx.size(); ++s) {
@@ -177,17 +177,16 @@ double PowerNetRunner::train(const core::RawDataset& data,
       }
     }
     if (verbose) {
-      std::printf("  powernet epoch %d/%d  loss %.5f\n", epoch + 1,
-                  options_.epochs, epoch_loss / static_cast<double>(count));
-      std::fflush(stdout);
+      obs::logf("  powernet epoch %d/%d  loss %.5f", epoch + 1,
+                options_.epochs, epoch_loss / static_cast<double>(count));
     }
   }
-  return timer.seconds();
+  return timer.lap("powernet.train");
 }
 
 util::MapF PowerNetRunner::predict(const core::RawSample& sample,
                                    double* seconds) {
-  util::WallTimer timer;
+  obs::StageTimer timer;
   const PowerNetFeatures f = extract_features(sample);
   const int rows = sample.truth.rows();
   const int cols = sample.truth.cols();
@@ -199,7 +198,7 @@ util::MapF PowerNetRunner::predict(const core::RawSample& sample,
       out(tr, tc) = pred.value().item() * vdd_;
     }
   }
-  if (seconds) *seconds = timer.seconds();
+  if (seconds) *seconds = timer.lap("powernet.predict");
   return out;
 }
 

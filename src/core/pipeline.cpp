@@ -1,7 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include "core/features.hpp"
-#include "util/timer.hpp"
+#include "obs/obs.hpp"
 
 namespace pdnn::core {
 
@@ -16,21 +16,23 @@ WorstCasePipeline::WorstCasePipeline(const pdn::PowerGrid& grid,
 
 util::MapF WorstCasePipeline::predict(const vectors::CurrentTrace& trace,
                                       PredictionTiming* timing) {
-  util::WallTimer total;
+  // One StageTimer drives both the per-stage laps and the total, so the
+  // stage times sum exactly to the total (each lap ends where the next one
+  // begins) and the trace spans and PredictionTiming fields come from the
+  // same clock readings.
+  obs::StageTimer total;
+  obs::StageTimer stage;
 
   // 1) Spatial compression: node-level loads -> tile current maps.
-  util::WallTimer stage;
   const std::vector<util::MapF> maps = spatial_.current_maps(trace);
-  const double spatial_s = stage.seconds();
+  const double spatial_s = stage.lap("pipeline.spatial");
 
   // 2) Temporal compression: Algorithm 1 on the total-current sequence.
-  stage.reset();
   const TemporalCompressionResult tc =
       compress_temporal(total_current_sequence(maps), options_.temporal);
-  const double temporal_s = stage.seconds();
+  const double temporal_s = stage.lap("pipeline.temporal");
 
   // 3) Feature assembly + a single CNN forward pass (no tape).
-  stage.reset();
   const nn::Tensor currents =
       stack_current_maps(maps, tc.kept, model_.config().current_scale);
   util::MapF result;
@@ -39,13 +41,14 @@ util::MapF WorstCasePipeline::predict(const vectors::CurrentTrace& trace,
     const nn::Var pred = model_.forward(nn::Var(distance_), nn::Var(currents));
     result = tensor_to_map(pred.value(), model_.config().noise_scale);
   }
-  const double inference_s = stage.seconds();
+  const double inference_s = stage.lap("pipeline.inference");
 
+  const double total_s = total.lap("pipeline.predict");
   if (timing) {
     timing->spatial_seconds = spatial_s;
     timing->temporal_seconds = temporal_s;
     timing->inference_seconds = inference_s;
-    timing->total_seconds = total.seconds();
+    timing->total_seconds = total_s;
     timing->kept_steps = static_cast<int>(tc.kept.size());
   }
   return result;

@@ -1,13 +1,12 @@
 #include "core/trainer.hpp"
 
-#include <cstdio>
 #include <numeric>
 
 #include "nn/conv.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
-#include "util/timer.hpp"
 
 namespace pdnn::core {
 
@@ -30,7 +29,7 @@ TrainReport train_model(WorstCaseNoiseNet& model, const CompiledDataset& data,
   PDN_CHECK(!data.split.train.empty(), "train_model: empty training set");
   PDN_CHECK(options.epochs > 0, "train_model: epochs must be positive");
 
-  util::WallTimer timer;
+  obs::StageTimer timer;
   nn::Adam optimizer(model.parameters(), options.lr);
   util::Rng rng(options.shuffle_seed);
   std::vector<int> order = data.split.train;
@@ -38,6 +37,10 @@ TrainReport train_model(WorstCaseNoiseNet& model, const CompiledDataset& data,
   TrainReport report;
   const nn::Var distance(data.distance);
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("train.epoch", "epoch", epoch + 1);
+    obs::counter_add(obs::Counter::kTrainEpochs, 1);
+    obs::counter_add(obs::Counter::kTrainSamples,
+                     static_cast<std::int64_t>(order.size()));
     if (options.lr_decay != 1.0f && epoch > 0) {
       optimizer.set_learning_rate(optimizer.learning_rate() * options.lr_decay);
     }
@@ -56,13 +59,12 @@ TrainReport train_model(WorstCaseNoiseNet& model, const CompiledDataset& data,
                                 static_cast<double>(order.size()));
     report.val_loss.push_back(evaluate_loss(model, data, data.split.val));
     if (options.verbose) {
-      std::printf("  epoch %2d/%d  train %.4f  val %.4f\n", epoch + 1,
-                  options.epochs, report.train_loss.back(),
-                  report.val_loss.back());
-      std::fflush(stdout);
+      obs::logf("  epoch %2d/%d  train %.4f  val %.4f", epoch + 1,
+                options.epochs, report.train_loss.back(),
+                report.val_loss.back());
     }
   }
-  report.seconds = timer.seconds();
+  report.seconds = timer.lap("train");
   // Training is the peak-scratch workload; drop every worker's im2col
   // buffers now so they don't pin peak-sized allocations for the process
   // lifetime. Inference reallocates (smaller) scratch lazily.

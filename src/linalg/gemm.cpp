@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pdnn::linalg {
@@ -32,6 +33,14 @@ void scale_rows(int m, int n, float beta, float* c, int ldc) {
   }
 }
 
+/// Work accounting shared by all three kernels: one call, 2*m*n*k flops.
+inline void note_gemm(int m, int n, int k) {
+  obs::counter_add(obs::Counter::kGemmCalls, 1);
+  obs::counter_add(obs::Counter::kGemmFlops,
+                   2 * static_cast<std::int64_t>(m) * n *
+                       static_cast<std::int64_t>(k));
+}
+
 /// Run body(panel) over ceil(m / kMB) row panels, on the pool when the
 /// problem is big enough and serially otherwise. Each panel owns rows
 /// [panel*kMB, min(m, panel*kMB + kMB)) of C exclusively.
@@ -54,6 +63,7 @@ void for_each_row_panel(int m, int n, int k, const Body& body) {
 
 void gemm_nn(int m, int n, int k, float alpha, const float* a, int lda,
              const float* b, int ldb, float beta, float* c, int ldc) {
+  note_gemm(m, n, k);
   for_each_row_panel(m, n, k, [&](int panel) {
     const int i0 = panel * kMB;
     const int i1 = std::min(m, i0 + kMB);
@@ -79,6 +89,7 @@ void gemm_nn(int m, int n, int k, float alpha, const float* a, int lda,
 
 void gemm_nt(int m, int n, int k, float alpha, const float* a, int lda,
              const float* b, int ldb, float beta, float* c, int ldc) {
+  note_gemm(m, n, k);
   for_each_row_panel(m, n, k, [&](int panel) {
     const int i0 = panel * kMB;
     const int i1 = std::min(m, i0 + kMB);
@@ -99,6 +110,7 @@ void gemm_nt(int m, int n, int k, float alpha, const float* a, int lda,
 
 void gemm_tn(int m, int n, int k, float alpha, const float* a, int lda,
              const float* b, int ldb, float beta, float* c, int ldc) {
+  note_gemm(m, n, k);
   // Row panels of C instead of the historical k-outer loop so panels are
   // disjoint across threads; each C row still accumulates its k terms in
   // ascending p order, exactly as before.

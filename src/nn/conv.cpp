@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "linalg/gemm.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -136,6 +137,14 @@ ConvScratch& scratch() {
 std::vector<float>& scratch_a() { return scratch().a; }
 std::vector<float>& scratch_b() { return scratch().b; }
 
+/// High-water mark of im2col scratch, in bytes. The buffer size depends only
+/// on layer geometry (never on the thread count), so the gauge is
+/// deterministic even though each worker reports its own buffer.
+inline void note_im2col_bytes(const std::vector<float>& col) {
+  obs::counter_max(obs::Counter::kConvIm2colBytesMax,
+                   static_cast<std::int64_t>(col.size() * sizeof(float)));
+}
+
 }  // namespace
 
 void release_conv_scratch() {
@@ -171,9 +180,11 @@ Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad,
   // Samples write disjoint output slices, so the batch fans out across the
   // pool; each worker lowers into its own thread_local scratch. Single-sample
   // batches fall through to the pool inside the gemm instead.
+  obs::TraceSpan fwd_span("conv2d.forward", "batch", n);
   util::parallel_for(n, 1, [&](std::int64_t b0, std::int64_t b1) {
     std::vector<float>& col = scratch_a();
     col.resize(static_cast<std::size_t>(ckk) * owo);
+    note_im2col_bytes(col);
     for (std::int64_t bidx = b0; bidx < b1; ++bidx) {
       const float* src = xv.data() + bidx * cin * h * wd;
       float* dst = out.data() + bidx * cout * owo;
@@ -201,6 +212,7 @@ Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad,
     const bool need_x = px->requires_grad;
     if (!need_b && !need_w && !need_x) return;
 
+    obs::TraceSpan bwd_span("conv2d.backward", "batch", n);
     // dX slices are disjoint per sample, but dW and db reduce across the
     // batch. The batch is cut into a fixed number of chunks (independent of
     // the thread count); each chunk accumulates float partials in sample
@@ -225,6 +237,7 @@ Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad,
       if (need_w || need_x) {
         col.resize(static_cast<std::size_t>(ckk) * owo);
         dcol.resize(static_cast<std::size_t>(ckk) * owo);
+        note_im2col_bytes(col);
       }
       for (std::int64_t bidx = r.begin; bidx < r.end; ++bidx) {
         const float* gy_b = gy + bidx * cout * owo;
@@ -297,9 +310,11 @@ Var conv_transpose2d(const Var& x, const Var& w, const Var& b, int stride,
   Tensor out({n, cout, ho, wo});
 
   // Per-sample output slices are disjoint; fan the batch out across the pool.
+  obs::TraceSpan fwd_span("convT.forward", "batch", n);
   util::parallel_for(n, 1, [&](std::int64_t b0, std::int64_t b1) {
     std::vector<float>& col = scratch_a();
     col.resize(static_cast<std::size_t>(ckk) * hw);
+    note_im2col_bytes(col);
     for (std::int64_t bidx = b0; bidx < b1; ++bidx) {
       const float* src = xv.data() + bidx * cin * hw;
       float* dst = out.data() + bidx * cout * out_hw;
@@ -331,6 +346,7 @@ Var conv_transpose2d(const Var& x, const Var& w, const Var& b, int stride,
     const bool need_x = px->requires_grad;
     if (!need_b && !need_w && !need_x) return;
 
+    obs::TraceSpan bwd_span("convT.backward", "batch", n);
     // Same deterministic chunked reduction as conv2d: fixed chunk partition,
     // per-chunk partials for dW/db, chunk-order fold.
     float* gb = need_b ? pb->ensure_grad().data() : nullptr;
@@ -348,7 +364,10 @@ Var conv_transpose2d(const Var& x, const Var& w, const Var& b, int stride,
       float* db = need_b ? db_part.data() + ci * cout : nullptr;
       float* dw = need_w ? dw_part.data() + ci * wsz : nullptr;
       std::vector<float>& col = scratch_a();
-      if (need_w || need_x) col.resize(static_cast<std::size_t>(ckk) * hw);
+      if (need_w || need_x) {
+        col.resize(static_cast<std::size_t>(ckk) * hw);
+        note_im2col_bytes(col);
+      }
       for (std::int64_t bidx = r.begin; bidx < r.end; ++bidx) {
         const float* gy_b = gy + bidx * cout * out_hw;
         if (need_b) {

@@ -1,0 +1,134 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pdnn::obs {
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+std::string JsonValue::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * (depth + 1)),
+                               ' ')
+                 : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                 : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Kind::kDouble:
+      out += number(double_);
+      break;
+    case Kind::kString:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        out += pad;
+        items_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < items_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += pad;
+        out += '"';
+        out += escape(members_[i].first);
+        out += indent > 0 ? "\": " : "\":";
+        members_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+}  // namespace pdnn::obs

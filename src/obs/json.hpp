@@ -1,0 +1,75 @@
+// Minimal ordered JSON document builder for the structured run-metrics
+// reports and the Chrome trace-event export. Keys keep insertion order so
+// reports diff cleanly across runs; numbers round-trip through %.17g; NaN
+// and infinities (invalid JSON) serialize as null.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdnn::obs {
+
+/// An ordered JSON value: null, bool, integer, double, string, array, or
+/// object. Built imperatively by the metrics writers; dump() renders the
+/// document.
+class JsonValue {
+ public:
+  JsonValue() = default;  // null
+  JsonValue(bool v) : kind_(Kind::kBool), bool_(v) {}
+  JsonValue(int v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}
+  JsonValue(const char* v) : kind_(Kind::kString), string_(v) {}
+  JsonValue(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  std::size_t size() const {
+    return kind_ == Kind::kObject ? members_.size() : items_.size();
+  }
+
+  /// Set (or overwrite) an object member; keeps first-set key order.
+  /// Throws CheckError-free: converts a null value into an object first.
+  JsonValue& set(const std::string& key, JsonValue value);
+
+  /// Append an array element; converts a null value into an array first.
+  JsonValue& push(JsonValue value);
+
+  /// Render with 2-space indentation per level (indent <= 0: compact).
+  std::string dump(int indent = 2) const;
+
+  /// Escape a string for embedding in a JSON document (no quotes added).
+  static std::string escape(const std::string& s);
+
+  /// Format a double as a JSON number token ("null" for NaN/Inf).
+  static std::string number(double v);
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace pdnn::obs

@@ -4,8 +4,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
-#include "util/timer.hpp"
 
 namespace pdnn::sim {
 
@@ -22,7 +22,7 @@ TransientSimulator::TransientSimulator(const pdn::PowerGrid& grid,
                                        TransientOptions options)
     : grid_(grid), options_(options) {
   PDN_CHECK(options.dt > 0.0, "TransientSimulator: non-positive dt");
-  util::WallTimer timer;
+  obs::StageTimer timer;
 
   const int n = grid.num_nodes();
   const double dt = options.dt;
@@ -67,7 +67,7 @@ TransientSimulator::TransientSimulator(const pdn::PowerGrid& grid,
   dc_solver_ = sparse::LinearSolver::create(options.solver);
   dc_solver_->prepare(sparse::CsrMatrix::from_triplets(n, dc));
 
-  prepare_seconds_ = timer.seconds();
+  prepare_seconds_ = timer.lap("sim.prepare");
 }
 
 TransientResult TransientSimulator::simulate(
@@ -81,7 +81,9 @@ TransientResult TransientSimulator::simulate(
   PDN_CHECK(trace.num_loads() == static_cast<int>(loads.size()),
             "simulate: trace/load count mismatch");
 
-  util::WallTimer timer;
+  obs::StageTimer timer;
+  obs::counter_add(obs::Counter::kSimTraces, 1);
+  obs::counter_add(obs::Counter::kSimSteps, trace.num_steps());
 
   // Initial condition: DC operating point at the first sample (inductors
   // shorted), so the run starts in steady state rather than with a spurious
@@ -141,7 +143,7 @@ TransientResult TransientSimulator::simulate(
   TransientResult result;
   result.node_worst_noise = std::move(worst);
   result.tile_worst_noise = tile_reduce(result.node_worst_noise);
-  result.solve_seconds = timer.seconds();
+  result.solve_seconds = timer.lap("sim.trace");
   result.num_steps = trace.num_steps();
   return result;
 }
@@ -164,7 +166,11 @@ std::vector<TransientResult> TransientSimulator::simulate_batch(
               "simulate_batch: traces in a batch must share num_steps");
   }
 
-  util::WallTimer timer;
+  obs::StageTimer timer;
+  obs::counter_add(obs::Counter::kSimTraces, batch);
+  obs::counter_add(obs::Counter::kSimSteps,
+                   static_cast<std::int64_t>(steps) * batch);
+  obs::counter_max(obs::Counter::kSimBatchWidthMax, batch);
   const std::size_t ns = static_cast<std::size_t>(n);
   const std::size_t nb = bumps.size();
 
@@ -247,7 +253,7 @@ std::vector<TransientResult> TransientSimulator::simulate_batch(
 
   // Wall time is shared across the lockstep batch; attribute it evenly so
   // per-vector cost sums (core::simulate_dataset) stay meaningful.
-  const double seconds_per_trace = timer.seconds() / batch;
+  const double seconds_per_trace = timer.lap("sim.batch") / batch;
   std::vector<TransientResult> results(static_cast<std::size_t>(batch));
   for (int c = 0; c < batch; ++c) {
     TransientResult& r = results[static_cast<std::size_t>(c)];

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace pdnn::sparse {
@@ -160,6 +161,7 @@ void AmgHierarchy::vcycle(const std::vector<double>& b,
                           std::vector<double>& x) const {
   PDN_CHECK(b.size() == static_cast<std::size_t>(matrices_.front().rows()),
             "AmgHierarchy::vcycle: size mismatch");
+  obs::counter_add(obs::Counter::kAmgVcycles, 1);
   x.resize(b.size(), 0.0);
   cycle(0, b, x);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "sparse/ordering.hpp"
 #include "util/check.hpp"
 
@@ -88,6 +89,10 @@ void BandCholesky::solve(const std::vector<double>& b,
 void BandCholesky::solve_multi(const double* b, double* x, int batch) const {
   PDN_CHECK(factored(), "BandCholesky::solve_multi before factor");
   PDN_CHECK(batch > 0, "BandCholesky::solve_multi: non-positive batch");
+  obs::counter_add(obs::Counter::kCholSolves, 1);
+  obs::counter_add(obs::Counter::kCholSolveColumns, batch);
+  obs::counter_max(obs::Counter::kCholBatchWidthMax, batch);
+  obs::TraceSpan span("chol.solve_multi", "batch", batch);
   const std::size_t stride = static_cast<std::size_t>(bw_) + 1;
   const std::size_t bsz = static_cast<std::size_t>(batch);
 

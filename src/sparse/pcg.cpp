@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace pdnn::sparse {
@@ -96,9 +97,11 @@ void Ic0Preconditioner::apply(const std::vector<double>& r,
   }
 }
 
-PcgStats pcg_solve(const CsrMatrix& a, const Preconditioner& m,
-                   const std::vector<double>& b, std::vector<double>& x,
-                   double tol, int max_iter) {
+namespace {
+
+PcgStats pcg_solve_impl(const CsrMatrix& a, const Preconditioner& m,
+                        const std::vector<double>& b, std::vector<double>& x,
+                        double tol, int max_iter) {
   const int n = a.rows();
   PDN_CHECK(static_cast<int>(b.size()) == n, "pcg: rhs size mismatch");
   x.resize(static_cast<std::size_t>(n), 0.0);
@@ -162,6 +165,21 @@ PcgStats pcg_solve(const CsrMatrix& a, const Preconditioner& m,
                                        beta * p[static_cast<std::size_t>(i)];
     }
   }
+  return stats;
+}
+
+}  // namespace
+
+PcgStats pcg_solve(const CsrMatrix& a, const Preconditioner& m,
+                   const std::vector<double>& b, std::vector<double>& x,
+                   double tol, int max_iter) {
+  if (!obs::enabled()) return pcg_solve_impl(a, m, b, x, tol, max_iter);
+  const std::int64_t t0 = obs::detail::now_ns();
+  const PcgStats stats = pcg_solve_impl(a, m, b, x, tol, max_iter);
+  obs::detail::record_span("pcg.solve", t0, obs::detail::now_ns(),
+                           "iterations", stats.iterations);
+  obs::counter_add(obs::Counter::kPcgSolves, 1);
+  obs::counter_add(obs::Counter::kPcgIterations, stats.iterations);
   return stats;
 }
 

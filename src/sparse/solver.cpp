@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "sparse/amg.hpp"
 #include "sparse/cholesky.hpp"
 #include "sparse/pcg.hpp"
@@ -39,6 +40,7 @@ void LinearSolver::solve_multi(const double* b, double* x, int batch) const {
   // Column-by-column fallback: each column round-trips through solve() with
   // its warm start preserved, so results match per-column single-RHS solves
   // bit for bit.
+  obs::TraceSpan span("solver.solve_multi_fallback", "batch", batch);
   std::vector<double> bc(static_cast<std::size_t>(n));
   std::vector<double> xc(static_cast<std::size_t>(n));
   for (int c = 0; c < batch; ++c) {

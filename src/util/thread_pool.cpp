@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/obs.hpp"
+
 namespace pdnn::util {
 
 namespace {
@@ -10,6 +12,23 @@ namespace {
 /// Set while a thread is executing a chunk; nested run() calls detect it and
 /// degrade to a serial loop instead of deadlocking on the shared pool.
 thread_local bool tls_inside_pool = false;
+
+/// Execute one chunk, measuring its latency (a "pool.chunk" span on the
+/// executing thread plus the summed-latency counter) when instrumentation is
+/// enabled. Exceptions propagate to the caller's existing handling; a
+/// throwing chunk simply records nothing.
+inline void execute_chunk(const std::function<void(std::int64_t)>& fn,
+                          std::int64_t c) {
+  if (!obs::enabled()) {
+    fn(c);
+    return;
+  }
+  const std::int64_t t0 = obs::detail::now_ns();
+  fn(c);
+  const std::int64_t t1 = obs::detail::now_ns();
+  obs::detail::record_span("pool.chunk", t0, t1, "chunk", c);
+  obs::counter_add(obs::Counter::kPoolChunkNanos, t1 - t0);
+}
 
 std::mutex& global_pool_mutex() {
   static std::mutex mu;
@@ -43,12 +62,19 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::run(std::int64_t num_chunks,
                      const std::function<void(std::int64_t)>& fn) {
   if (num_chunks <= 0) return;
+  // Work counters are bumped on every path (parallel, serial fallback,
+  // nested) so their totals depend only on the submitted jobs, never on the
+  // thread count or which path executed them.
+  obs::counter_add(obs::Counter::kPoolRuns, 1);
+  obs::counter_add(obs::Counter::kPoolChunks, num_chunks);
+  obs::counter_max(obs::Counter::kPoolChunksPerRunMax, num_chunks);
+  obs::TraceSpan run_span("pool.run", "chunks", num_chunks);
   if (workers_.empty() || num_chunks == 1 || tls_inside_pool) {
     // Serial fallback: same chunks, same order. Results stay bit-identical
     // because chunk partitions never depend on the thread count. The
     // inside-pool flag is left untouched so a single-chunk outer level (e.g.
     // a batch of one sample) still lets nested work fan out.
-    for (std::int64_t c = 0; c < num_chunks; ++c) fn(c);
+    for (std::int64_t c = 0; c < num_chunks; ++c) execute_chunk(fn, c);
     return;
   }
 
@@ -71,7 +97,7 @@ void ThreadPool::run(std::int64_t num_chunks,
     if (c >= num_chunks) break;
     std::exception_ptr err;
     try {
-      fn(c);
+      execute_chunk(fn, c);
     } catch (...) {
       err = std::current_exception();
     }
@@ -115,7 +141,7 @@ void ThreadPool::worker_loop() {
       if (c >= num_chunks) break;
       std::exception_ptr err;
       try {
-        (*job)(c);
+        execute_chunk(*job, c);
       } catch (...) {
         err = std::current_exception();
       }

@@ -1,0 +1,529 @@
+// Observability subsystem (DESIGN.md §9): the overhead contract (disabled
+// instrumentation leaves every numerical output bit-identical), trace JSON
+// well-formedness with per-thread monotonic timestamps, and thread-count
+// independence of the aggregated counters.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "nn/conv.hpp"
+#include "nn/ops.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pdnn {
+namespace {
+
+using nn::PadMode;
+using nn::Tensor;
+using nn::Var;
+
+/// Restore the default global pool when a test returns.
+struct PoolGuard {
+  explicit PoolGuard(int threads) {
+    util::ThreadPool::set_global_threads(threads);
+  }
+  ~PoolGuard() { util::ThreadPool::set_global_threads(0); }
+};
+
+/// Leave the process-wide instrumentation state exactly as the test found it
+/// would want it: disabled, zeroed, and with an empty span store.
+struct ObsGuard {
+  ObsGuard() { reset(); }
+  ~ObsGuard() { reset(); }
+  static void reset() {
+    obs::set_enabled(false);
+    obs::reset_counters();
+    obs::clear_trace();
+  }
+};
+
+bool bit_equal(const float* a, const float* b, std::size_t n) {
+  return std::memcmp(a, b, n * sizeof(float)) == 0;
+}
+
+Tensor random_tensor(std::vector<int> shape, util::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+pdn::DesignSpec tiny_spec() {
+  pdn::DesignSpec s;
+  s.name = "tiny";
+  s.tile_rows = 5;
+  s.tile_cols = 5;
+  s.nodes_per_tile = 2;
+  s.top_stride = 3;
+  s.bump_pitch = 2;
+  s.num_loads = 12;
+  s.unit_current = 5e-3;
+  s.seed = 31;
+  return s;
+}
+
+/// A workload touching every instrumented layer: golden-dataset simulation
+/// (band Cholesky, transient stepping, thread pool) plus a conv training
+/// step (GEMM, im2col scratch, autograd).
+struct WorkloadOutputs {
+  core::RawDataset data;
+  Tensor loss, gx, gw, gb;
+};
+
+WorkloadOutputs run_workload() {
+  WorkloadOutputs out;
+  {
+    const pdn::PowerGrid grid(tiny_spec());
+    const sim::TransientSimulator simulator(grid, {});
+    vectors::VectorGenParams params;
+    params.num_steps = 16;
+    vectors::TestVectorGenerator gen(grid, params, 55);
+    out.data = core::simulate_dataset(grid, simulator, gen, 4);
+  }
+  {
+    util::Rng rng(31);
+    const Tensor x = random_tensor({4, 3, 12, 10}, rng);
+    const Tensor w = random_tensor({4, 3, 3, 3}, rng);
+    const Tensor b = random_tensor({4}, rng);
+    const Tensor target = random_tensor({4, 4, 12, 10}, rng);
+    Var vx(x.clone(), /*requires_grad=*/true);
+    Var vw(w.clone(), /*requires_grad=*/true);
+    Var vb(b.clone(), /*requires_grad=*/true);
+    Var loss =
+        nn::l1_loss(nn::conv2d(vx, vw, vb, 1, 1, PadMode::kReplicate), target);
+    loss.backward();
+    out.loss = loss.value().clone();
+    out.gx = vx.node()->grad.clone();
+    out.gw = vw.node()->grad.clone();
+    out.gb = vb.node()->grad.clone();
+  }
+  return out;
+}
+
+void expect_outputs_bit_equal(const WorkloadOutputs& a,
+                              const WorkloadOutputs& b, const char* what) {
+  ASSERT_EQ(a.data.samples.size(), b.data.samples.size()) << what;
+  for (std::size_t i = 0; i < a.data.samples.size(); ++i) {
+    const core::RawSample& sa = a.data.samples[i];
+    const core::RawSample& sb = b.data.samples[i];
+    EXPECT_TRUE(bit_equal(sa.truth.data(), sb.truth.data(),
+                          sa.truth.storage().size()))
+        << what << ": truth map " << i;
+    ASSERT_EQ(sa.current_maps.size(), sb.current_maps.size()) << what;
+    for (std::size_t t = 0; t < sa.current_maps.size(); ++t) {
+      EXPECT_TRUE(bit_equal(sa.current_maps[t].data(),
+                            sb.current_maps[t].data(),
+                            sa.current_maps[t].storage().size()))
+          << what << ": sample " << i << " map " << t;
+    }
+  }
+  EXPECT_TRUE(bit_equal(a.loss.data(), b.loss.data(),
+                        static_cast<std::size_t>(a.loss.numel())))
+      << what << ": loss";
+  EXPECT_TRUE(bit_equal(a.gx.data(), b.gx.data(),
+                        static_cast<std::size_t>(a.gx.numel())))
+      << what << ": dX";
+  EXPECT_TRUE(bit_equal(a.gw.data(), b.gw.data(),
+                        static_cast<std::size_t>(a.gw.numel())))
+      << what << ": dW";
+  EXPECT_TRUE(bit_equal(a.gb.data(), b.gb.data(),
+                        static_cast<std::size_t>(a.gb.numel())))
+      << what << ": db";
+}
+
+/// Minimal recursive-descent JSON syntax validator (no value tree — the
+/// tests only need "is this parseable" plus targeted field scans).
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --- Counters --------------------------------------------------------------
+
+TEST(ObsCounters, DisabledCallsAreNoOps) {
+  ObsGuard guard;
+  obs::counter_add(obs::Counter::kPcgIterations, 40);
+  obs::counter_max(obs::Counter::kCholBatchWidthMax, 16);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPcgIterations), 0);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kCholBatchWidthMax), 0);
+
+  obs::set_enabled(true);
+  obs::counter_add(obs::Counter::kPcgIterations, 40);
+  obs::counter_add(obs::Counter::kPcgIterations, 2);
+  obs::counter_max(obs::Counter::kCholBatchWidthMax, 16);
+  obs::counter_max(obs::Counter::kCholBatchWidthMax, 8);  // below the max
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPcgIterations), 42);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kCholBatchWidthMax), 16);
+}
+
+TEST(ObsCounters, ReadingIsDeltaForTotalsAndEndValueForGauges) {
+  ObsGuard guard;
+  obs::set_enabled(true);
+  obs::counter_add(obs::Counter::kGemmCalls, 5);
+  obs::counter_max(obs::Counter::kSimBatchWidthMax, 4);
+  const obs::CounterSnapshot before = obs::snapshot_counters();
+  obs::counter_add(obs::Counter::kGemmCalls, 3);
+  obs::counter_max(obs::Counter::kSimBatchWidthMax, 2);  // high water stays 4
+  const obs::CounterSnapshot after = obs::snapshot_counters();
+
+  EXPECT_EQ(obs::counter_reading(before, after, obs::Counter::kGemmCalls), 3);
+  EXPECT_EQ(
+      obs::counter_reading(before, after, obs::Counter::kSimBatchWidthMax), 4);
+
+  // counters_json reports dotted names and skips untouched counters.
+  const std::string json = obs::counters_json(before, after).dump();
+  EXPECT_NE(json.find("\"gemm.calls\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sim.batch_width_max\": 4"), std::string::npos) << json;
+  EXPECT_EQ(json.find("pcg.iterations"), std::string::npos) << json;
+  JsonValidator v(json);
+  EXPECT_TRUE(v.valid()) << json;
+}
+
+TEST(ObsCounters, EveryCounterHasAStableName) {
+  for (int i = 0; i < obs::kCounterCount; ++i) {
+    const char* name = obs::counter_name(static_cast<obs::Counter>(i));
+    EXPECT_STRNE(name, "?") << "counter " << i;
+    EXPECT_NE(std::strchr(name, '.'), nullptr) << name;
+  }
+}
+
+TEST(ObsCounters, DeterministicAcrossThreadCounts) {
+  ObsGuard guard;
+  obs::set_enabled(true);
+
+  obs::CounterSnapshot per_thread_counts[2];
+  const int thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    obs::reset_counters();
+    PoolGuard pool(thread_counts[i]);
+    run_workload();
+    per_thread_counts[i] = obs::snapshot_counters();
+  }
+
+  for (int c = 0; c < obs::kCounterCount; ++c) {
+    const auto counter = static_cast<obs::Counter>(c);
+    // Wall-time sums are the one intentionally nondeterministic reading.
+    if (counter == obs::Counter::kPoolChunkNanos) continue;
+    EXPECT_EQ(per_thread_counts[0][static_cast<std::size_t>(c)],
+              per_thread_counts[1][static_cast<std::size_t>(c)])
+        << obs::counter_name(counter) << " differs between 1 and 4 threads";
+  }
+  // The workload must actually have exercised the solver and NN layers for
+  // the comparison above to mean anything.
+  EXPECT_GT(per_thread_counts[0][static_cast<std::size_t>(
+                obs::Counter::kCholSolveColumns)],
+            0);
+  EXPECT_GT(
+      per_thread_counts[0][static_cast<std::size_t>(obs::Counter::kGemmFlops)],
+      0);
+  EXPECT_GT(
+      per_thread_counts[0][static_cast<std::size_t>(obs::Counter::kSimSteps)],
+      0);
+}
+
+// --- Overhead contract -------------------------------------------------------
+
+TEST(ObsOverhead, OutputsBitIdenticalWithTracingOnAndOff) {
+  ObsGuard guard;
+  for (int threads : {1, 8}) {
+    PoolGuard pool(threads);
+
+    obs::set_enabled(false);
+    const WorkloadOutputs off = run_workload();
+
+    obs::set_enabled(true);
+    const WorkloadOutputs on = run_workload();
+    obs::set_enabled(false);
+
+    const std::string what =
+        "tracing on vs off, " + std::to_string(threads) + " threads";
+    expect_outputs_bit_equal(off, on, what.c_str());
+  }
+}
+
+// --- Trace export ------------------------------------------------------------
+
+TEST(ObsTrace, JsonIsWellFormedWithMonotonicPerThreadTimestamps) {
+  ObsGuard guard;
+  obs::set_enabled(true);
+  {
+    PoolGuard pool(4);
+    run_workload();
+  }
+  {
+    obs::TraceSpan span("test.outer", "value", 7);
+    obs::TraceSpan inner("test.inner");
+  }
+  const std::string json = obs::trace_json();
+  obs::set_enabled(false);
+
+  JsonValidator v(json);
+  ASSERT_TRUE(v.valid());
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  for (const char* name :
+       {"pool.run", "pool.chunk", "chol.solve_multi", "conv2d.forward",
+        "test.outer", "test.inner"}) {
+    EXPECT_NE(json.find(std::string("\"name\":\"") + name + "\""),
+              std::string::npos)
+        << "missing span " << name;
+  }
+
+  // Events are emitted one per line; "X" events must be sorted by ts within
+  // each tid (chrome://tracing / Perfetto require begin-time order).
+  std::istringstream lines(json);
+  std::string line;
+  std::map<int, double> last_ts;
+  int events = 0;
+  while (std::getline(lines, line)) {
+    if (line.find("\"ph\":\"X\"") == std::string::npos) continue;
+    const std::size_t tid_pos = line.find("\"tid\":");
+    const std::size_t ts_pos = line.find("\"ts\":");
+    ASSERT_NE(tid_pos, std::string::npos) << line;
+    ASSERT_NE(ts_pos, std::string::npos) << line;
+    const int tid = std::atoi(line.c_str() + tid_pos + 6);
+    const double ts = std::atof(line.c_str() + ts_pos + 5);
+    ASSERT_GE(ts, 0.0) << line;
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "ts went backwards on tid " << tid;
+    }
+    last_ts[tid] = ts;
+    ++events;
+  }
+  EXPECT_GT(events, 10);
+}
+
+TEST(ObsTrace, WriteTraceRoundTrips) {
+  ObsGuard guard;
+  obs::set_enabled(true);
+  { obs::TraceSpan span("test.write", "n", 3); }
+  obs::set_enabled(false);
+
+  const std::string path = "test_obs_trace.json";
+  ASSERT_TRUE(obs::write_trace(path));
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  file.close();
+  std::remove(path.c_str());
+
+  const std::string json = buffer.str();
+  JsonValidator v(json);
+  EXPECT_TRUE(v.valid());
+  EXPECT_NE(json.find("\"test.write\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"n\":3}"), std::string::npos);
+}
+
+TEST(ObsTrace, ClearTraceDropsEverything) {
+  ObsGuard guard;
+  obs::set_enabled(true);
+  { obs::TraceSpan span("test.dropme"); }
+  obs::clear_trace();
+  const std::string json = obs::trace_json();
+  obs::set_enabled(false);
+  EXPECT_EQ(json.find("test.dropme"), std::string::npos);
+}
+
+// --- StageTimer --------------------------------------------------------------
+
+TEST(ObsStageTimer, LapsAreContiguousAndSumToTotal) {
+  ObsGuard guard;
+  obs::StageTimer total;
+  obs::StageTimer stage;
+  double work = 0.0;
+  for (int i = 0; i < 200000; ++i) work += static_cast<double>(i) * 1e-9;
+  const double a = stage.lap("test.stage_a");
+  for (int i = 0; i < 200000; ++i) work += static_cast<double>(i) * 1e-9;
+  const double b = stage.lap("test.stage_b");
+  const double t = total.lap("test.total");
+  EXPECT_GT(work, 0.0);
+  EXPECT_GT(a, 0.0);
+  EXPECT_GT(b, 0.0);
+  // The two stages tile the total window (modulo the construction gap and
+  // the final two clock reads — sub-microsecond on any sane machine).
+  EXPECT_NEAR(a + b, t, 1e-3);
+  EXPECT_LE(a + b, t + 1e-9);
+}
+
+TEST(ObsStageTimer, LapEmitsSpanOnlyWhenEnabled) {
+  ObsGuard guard;
+  {
+    obs::StageTimer timer;
+    timer.lap("test.disabled_lap");
+  }
+  EXPECT_EQ(obs::trace_json().find("test.disabled_lap"), std::string::npos);
+
+  obs::set_enabled(true);
+  {
+    obs::StageTimer timer;
+    timer.lap("test.enabled_lap");
+  }
+  const std::string json = obs::trace_json();
+  obs::set_enabled(false);
+  EXPECT_NE(json.find("test.enabled_lap"), std::string::npos);
+}
+
+// --- Log sink ----------------------------------------------------------------
+
+TEST(ObsLog, LogfFormatsAndAppendsNewline) {
+  testing::internal::CaptureStdout();
+  obs::logf("epoch %2d/%d  loss %.3f", 3, 10, 0.125);
+  obs::log("plain line");
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(out, "epoch  3/10  loss 0.125\nplain line\n");
+}
+
+// --- JSON builder ------------------------------------------------------------
+
+TEST(ObsJson, PreservesInsertionOrderAndEscapes) {
+  obs::JsonValue root = obs::JsonValue::object();
+  root.set("zeta", 1);
+  root.set("alpha", "quote\"backslash\\newline\n");
+  obs::JsonValue arr = obs::JsonValue::array();
+  arr.push(1.5);
+  arr.push(true);
+  root.set("list", std::move(arr));
+  root.set("zeta", 2);  // overwrite keeps the original position
+
+  const std::string json = root.dump();
+  JsonValidator v(json);
+  EXPECT_TRUE(v.valid()) << json;
+  EXPECT_LT(json.find("zeta"), json.find("alpha"));
+  EXPECT_LT(json.find("alpha"), json.find("list"));
+  EXPECT_NE(json.find("\"zeta\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\\\"backslash\\\\newline\\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdnn
