@@ -40,6 +40,17 @@ void add_common_flags(util::ArgParser& args) {
   args.add_flag("split", "expansion", "train split: expansion|random");
   args.add_bool("ablate-distance", "zero the bump-distance feature (ablation)");
   args.add_bool("verbose", "print per-epoch losses and progress");
+  add_runtime_flags(args);
+}
+
+void add_metrics_flags(util::ArgParser& args) {
+  args.add_flag("trace", "",
+                "write a Chrome trace-event JSON (Perfetto-loadable) here");
+  args.add_flag("metrics-json", "",
+                "write the structured run-metrics report (JSON) here");
+}
+
+void add_runtime_flags(util::ArgParser& args) {
   args.add_flag("threads", "0",
                 "worker threads for the shared pool "
                 "(0: PDNN_THREADS or hardware concurrency)");
@@ -49,11 +60,39 @@ void add_common_flags(util::ArgParser& args) {
   add_metrics_flags(args);
 }
 
-void add_metrics_flags(util::ArgParser& args) {
-  args.add_flag("trace", "",
-                "write a Chrome trace-event JSON (Perfetto-loadable) here");
-  args.add_flag("metrics-json", "",
-                "write the structured run-metrics report (JSON) here");
+RuntimeConfig apply_runtime_flags(const util::ArgParser& args) {
+  RuntimeConfig rc;
+  rc.threads = args.get_int("threads");
+  if (rc.threads > 0) util::ThreadPool::set_global_threads(rc.threads);
+  rc.sim_batch = sim::resolve_sim_batch(args.get_int("sim-batch"));
+  return rc;
+}
+
+void add_serve_flags(util::ArgParser& args) {
+  args.add_flag("serve-clients", "8", "concurrent client threads");
+  args.add_flag("serve-requests", "4", "predictions issued per client");
+  args.add_flag("serve-batch", "8",
+                "widest fused micro-batch (requests per CNN pass; "
+                "any width is bit-identical)");
+  args.add_flag("serve-queue", "64",
+                "bounded request-queue capacity (full queue rejects with "
+                "'overloaded' instead of growing)");
+  args.add_flag("serve-deadline-ms", "0",
+                "per-request deadline in milliseconds (0: none); requests "
+                "still queued past it are rejected with 'timed_out'");
+}
+
+ServeFlags serve_flags_from_args(const util::ArgParser& args) {
+  ServeFlags sf;
+  sf.clients = args.get_int("serve-clients");
+  sf.requests_per_client = args.get_int("serve-requests");
+  sf.options.max_batch = args.get_int("serve-batch");
+  sf.options.queue_capacity = args.get_int("serve-queue");
+  sf.options.default_deadline_seconds =
+      args.get_double("serve-deadline-ms") * 1e-3;
+  PDN_CHECK(sf.clients > 0 && sf.requests_per_client > 0,
+            "serve flags: --serve-clients and --serve-requests must be > 0");
+  return sf;
 }
 
 ExperimentOptions options_from_args(const util::ArgParser& args) {
@@ -67,8 +106,8 @@ ExperimentOptions options_from_args(const util::ArgParser& args) {
                                           : core::SplitStrategy::kExpansion;
   o.ablate_distance = args.get_bool("ablate-distance");
   o.verbose = args.get_bool("verbose");
-  o.threads = args.get_int("threads");
-  if (o.threads > 0) util::ThreadPool::set_global_threads(o.threads);
+  const RuntimeConfig rc = apply_runtime_flags(args);
+  o.threads = rc.threads;
   o.sim_batch = args.get_int("sim-batch");
   return o;
 }

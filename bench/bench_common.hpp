@@ -21,6 +21,7 @@
 #include "obs/obs.hpp"
 #include "pdn/design.hpp"
 #include "pdn/power_grid.hpp"
+#include "serve/server.hpp"
 #include "sim/calibrate.hpp"
 #include "sim/transient.hpp"
 #include "util/cli.hpp"
@@ -50,15 +51,46 @@ struct ExperimentOptions {
 /// Defaults per scale, overridable from the CLI.
 ExperimentOptions options_for_scale(pdn::Scale scale);
 
-/// Register the standard experiment flags on a parser.
+/// Register the standard experiment flags on a parser (includes the runtime
+/// flags below).
 void add_common_flags(util::ArgParser& args);
 
 /// Register only the observability flags (--trace, --metrics-json); for
 /// drivers that don't take the full experiment flag set. add_common_flags
-/// already includes these.
+/// and add_runtime_flags already include these.
 void add_metrics_flags(util::ArgParser& args);
 
-/// Build options from parsed flags.
+/// The execution flags every driver shares — --threads, --sim-batch, and the
+/// observability flags — registered once here so the seven harnesses don't
+/// each hand-roll the set (and so `--help` documents them identically
+/// everywhere).
+void add_runtime_flags(util::ArgParser& args);
+
+/// Resolved values of the add_runtime_flags set.
+struct RuntimeConfig {
+  int threads = 0;    ///< pool size actually applied
+  int sim_batch = 0;  ///< resolved lockstep transient batch width
+};
+
+/// Apply the parsed runtime flags: size the global thread pool and resolve
+/// the transient batch width. Call once, right after parse().
+RuntimeConfig apply_runtime_flags(const util::ArgParser& args);
+
+/// Register the serving flags (--serve-clients, --serve-batch,
+/// --serve-queue, --serve-deadline-ms, --serve-requests) for drivers that
+/// embed a serve::NoiseServer.
+void add_serve_flags(util::ArgParser& args);
+
+/// Resolved values of the add_serve_flags set.
+struct ServeFlags {
+  int clients = 8;              ///< concurrent client threads
+  int requests_per_client = 4;  ///< predictions issued by each client
+  serve::ServeOptions options;  ///< queue/batch/deadline configuration
+};
+
+ServeFlags serve_flags_from_args(const util::ArgParser& args);
+
+/// Build options from parsed flags (applies the runtime flags).
 ExperimentOptions options_from_args(const util::ArgParser& args);
 
 /// Everything produced by one design's end-to-end experiment.

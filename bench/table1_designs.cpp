@@ -16,15 +16,12 @@ int main(int argc, char** argv) {
   args.add_flag("scale", "small", "experiment scale: small|medium|paper");
   args.add_flag("vectors", "8", "sample vectors per design");
   args.add_flag("steps", "80", "time steps per vector");
-  args.add_flag("sim-batch", "0",
-                "traces per lockstep multi-RHS transient batch "
-                "(0: PDNN_SIM_BATCH or 8; any width is bit-identical)");
-  bench::add_metrics_flags(args);
+  bench::add_runtime_flags(args);
   if (!args.parse(argc, argv)) return 0;
 
   const auto scale = pdn::scale_from_string(args.get("scale"));
   const int num_vectors = args.get_int("vectors");
-  const int sim_batch = sim::resolve_sim_batch(args.get_int("sim-batch"));
+  const int sim_batch = bench::apply_runtime_flags(args).sim_batch;
 
   bench::RunMetrics metrics("table1_designs", args);
   metrics.set("scale", pdn::to_string(scale));

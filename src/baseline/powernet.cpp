@@ -18,10 +18,10 @@ PowerNetModel::PowerNetModel(const PowerNetOptions& options, util::Rng& rng)
       fc1_(options.channels, 2 * options.channels, options.window, 1, 0,
            nn::PadMode::kZero, rng),
       fc2_(2 * options.channels, 1, 1, 1, 0, nn::PadMode::kZero, rng) {
-  register_module(&conv1_);
-  register_module(&conv2_);
-  register_module(&fc1_);
-  register_module(&fc2_);
+  register_module(&conv1_, "conv1");
+  register_module(&conv2_, "conv2");
+  register_module(&fc1_, "fc1");
+  register_module(&fc2_, "fc2");
 }
 
 nn::Var PowerNetModel::forward_tile(const nn::Var& input) {

@@ -1,0 +1,134 @@
+#include "core/artifact.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "nn/serialize.hpp"
+#include "util/check.hpp"
+
+namespace pdnn::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'D', 'N', 'B'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_field(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Read one fixed-width field; a short read names the field so a truncated
+/// or corrupt container points at exactly where it went wrong.
+template <typename T>
+T read_field(std::istream& in, const std::string& path, const char* field) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  PDN_CHECK(in.good(), "load_artifact: truncated file " + path +
+                           " reading field '" + field + "'");
+  return value;
+}
+
+/// Header reader shared by peek_artifact and load_artifact; leaves the
+/// stream positioned at the weight block.
+ModelArtifact read_header(std::istream& in, const std::string& path) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  PDN_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
+            "load_artifact: bad magic in " + path +
+                " (expected \"PDNB\"; field 'magic')");
+  const auto version = read_field<std::uint32_t>(in, path, "version");
+  PDN_CHECK(version == kVersion,
+            "load_artifact: unsupported version " + std::to_string(version) +
+                " in " + path + " (field 'version')");
+
+  ModelArtifact art;
+  art.config.distance_channels =
+      read_field<std::int32_t>(in, path, "distance_channels");
+  art.config.tile_rows = read_field<std::int32_t>(in, path, "tile_rows");
+  art.config.tile_cols = read_field<std::int32_t>(in, path, "tile_cols");
+  art.config.c1 = read_field<std::int32_t>(in, path, "c1");
+  art.config.c2 = read_field<std::int32_t>(in, path, "c2");
+  art.config.c3 = read_field<std::int32_t>(in, path, "c3");
+  art.config.current_scale = read_field<float>(in, path, "current_scale");
+  art.config.noise_scale = read_field<float>(in, path, "noise_scale");
+  art.config.init_seed = read_field<std::uint64_t>(in, path, "init_seed");
+  art.temporal.rate = read_field<double>(in, path, "temporal.rate");
+  art.temporal.rate_step = read_field<double>(in, path, "temporal.rate_step");
+
+  PDN_CHECK(art.config.distance_channels > 0 && art.config.tile_rows > 0 &&
+                art.config.tile_cols > 0 && art.config.c1 > 0 &&
+                art.config.c2 > 0 && art.config.c3 > 0,
+            "load_artifact: non-positive model dimension in " + path +
+                " (fields 'distance_channels'/'tile_rows'/'tile_cols'/"
+                "'c1'/'c2'/'c3')");
+  return art;
+}
+
+}  // namespace
+
+void save_artifact(WorstCaseNoiseNet& model,
+                   const TemporalCompressionOptions& temporal,
+                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  PDN_CHECK(out.good(), "save_artifact: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_field(out, kVersion);
+  const ModelConfig& c = model.config();
+  write_field(out, static_cast<std::int32_t>(c.distance_channels));
+  write_field(out, static_cast<std::int32_t>(c.tile_rows));
+  write_field(out, static_cast<std::int32_t>(c.tile_cols));
+  write_field(out, static_cast<std::int32_t>(c.c1));
+  write_field(out, static_cast<std::int32_t>(c.c2));
+  write_field(out, static_cast<std::int32_t>(c.c3));
+  write_field(out, c.current_scale);
+  write_field(out, c.noise_scale);
+  write_field(out, c.init_seed);
+  write_field(out, temporal.rate);
+  write_field(out, temporal.rate_step);
+  PDN_CHECK(out.good(), "save_artifact: header write failed for " + path);
+  nn::save_parameters(model.parameters(), out, path);
+}
+
+ModelArtifact load_artifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PDN_CHECK(in.good(), "load_artifact: cannot open " + path);
+  ModelArtifact art = read_header(in, path);
+  art.model = std::make_unique<WorstCaseNoiseNet>(art.config);
+  nn::load_parameters(art.model->parameters(), in, path);
+  return art;
+}
+
+ModelArtifact peek_artifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PDN_CHECK(in.good(), "peek_artifact: cannot open " + path);
+  return read_header(in, path);
+}
+
+// ---------------------------------------------------------------------------
+// Compat shims declared in core/model.hpp.
+// ---------------------------------------------------------------------------
+
+void save_model(WorstCaseNoiseNet& model, const std::string& path) {
+  save_artifact(model, TemporalCompressionOptions{}, path);
+}
+
+ModelConfig peek_model_config(const std::string& path) {
+  return peek_artifact(path).config;
+}
+
+void load_model(WorstCaseNoiseNet& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PDN_CHECK(in.good(), "load_model: cannot open " + path);
+  const ModelArtifact stored = read_header(in, path);
+  const ModelConfig& own = model.config();
+  PDN_CHECK(stored.config.distance_channels == own.distance_channels &&
+                stored.config.tile_rows == own.tile_rows &&
+                stored.config.tile_cols == own.tile_cols &&
+                stored.config.c1 == own.c1 && stored.config.c2 == own.c2 &&
+                stored.config.c3 == own.c3,
+            "load_model: architecture mismatch for " + path);
+  nn::load_parameters(model.parameters(), in, path);
+}
+
+}  // namespace pdnn::core

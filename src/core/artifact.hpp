@@ -1,0 +1,51 @@
+// Single-file model artifact: the versioned "PDNB" container.
+//
+// A checkpoint must be self-describing — the serving layer rebuilds a
+// complete inference stack from one file with no side-channel metadata.
+// Layout (little-endian, fixed field order):
+//
+//   magic  "PDNB"                     4 bytes
+//   u32    version (= 1)
+//   i32    distance_channels, tile_rows, tile_cols, c1, c2, c3
+//   f32    current_scale, noise_scale
+//   u64    init_seed
+//   f64    temporal.rate, temporal.rate_step
+//   "PDNW" weight block               (nn/serialize layout)
+//
+// Every read is checked; truncation, a bad magic, or a shape mismatch throws
+// util::CheckError naming the offending field. save_model/load_model in
+// core/model.hpp are thin compat shims over this container.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/model.hpp"
+#include "core/temporal.hpp"
+
+namespace pdnn::core {
+
+/// A loaded checkpoint: everything needed to rebuild the inference pipeline
+/// for the design the model was trained on (the distance feature and spatial
+/// compressor are derived from the PowerGrid at pipeline construction).
+struct ModelArtifact {
+  ModelConfig config;
+  TemporalCompressionOptions temporal;
+  std::unique_ptr<WorstCaseNoiseNet> model;
+};
+
+/// Write model config + compressor options + normalization + weights as one
+/// "PDNB" file.
+void save_artifact(WorstCaseNoiseNet& model,
+                   const TemporalCompressionOptions& temporal,
+                   const std::string& path);
+
+/// Read a "PDNB" file, rebuild the model architecture from the stored
+/// config, and load the weights into it.
+ModelArtifact load_artifact(const std::string& path);
+
+/// Read only the header (config + compressor options) without constructing
+/// a model.
+ModelArtifact peek_artifact(const std::string& path);
+
+}  // namespace pdnn::core

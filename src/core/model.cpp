@@ -1,8 +1,5 @@
 #include "core/model.hpp"
 
-#include <fstream>
-
-#include "nn/serialize.hpp"
 #include "util/check.hpp"
 
 namespace pdnn::core {
@@ -21,19 +18,19 @@ UNet2::UNet2(int in_channels, int channels, int out_channels, util::Rng& rng)
       up2_(channels, channels, 3, 2, 1, /*output_padding=*/1, rng),
       up2_conv_(2 * channels, channels, 3, 1, 1, PadMode::kReplicate, rng),
       out_conv_(channels, out_channels, 3, 1, 1, PadMode::kReplicate, rng) {
-  register_module(&in_conv_);
-  register_module(&down1_a_);
-  register_module(&down1_b_);
-  register_module(&down2_a_);
-  register_module(&down2_b_);
-  register_module(&up1_);
-  register_module(&up1_conv_);
-  register_module(&up2_);
-  register_module(&up2_conv_);
-  register_module(&out_conv_);
+  register_module(&in_conv_, "in_conv");
+  register_module(&down1_a_, "down1_a");
+  register_module(&down1_b_, "down1_b");
+  register_module(&down2_a_, "down2_a");
+  register_module(&down2_b_, "down2_b");
+  register_module(&up1_, "up1");
+  register_module(&up1_conv_, "up1_conv");
+  register_module(&up2_, "up2");
+  register_module(&up2_conv_, "up2_conv");
+  register_module(&out_conv_, "out_conv");
 }
 
-Var UNet2::forward(const Var& x) {
+Var UNet2::forward(const Var& x) const {
   // Encoder: stride-2 conv + stride-1 conv per level, replication padding.
   const Var e0 = nn::relu(in_conv_.forward(x));                      // m x n
   const Var d1 = nn::relu(down1_b_.forward(nn::relu(down1_a_.forward(e0))));
@@ -57,13 +54,13 @@ FusionNet::FusionNet(int channels, util::Rng& rng)
       enc2_(channels, channels, 3, 2, 1, PadMode::kReplicate, rng),
       dec1_(channels, channels, 3, 2, 1, /*output_padding=*/1, rng),
       dec2_(channels, 1, 3, 1, 1, PadMode::kReplicate, rng) {
-  register_module(&enc1_);
-  register_module(&enc2_);
-  register_module(&dec1_);
-  register_module(&dec2_);
+  register_module(&enc1_, "enc1");
+  register_module(&enc2_, "enc2");
+  register_module(&dec1_, "dec1");
+  register_module(&dec2_, "dec2");
 }
 
-Var FusionNet::forward(const Var& x) {
+Var FusionNet::forward(const Var& x) const {
   const int h = x.value().h();
   const int w = x.value().w();
   Var y = nn::relu(enc1_.forward(x));
@@ -82,73 +79,46 @@ WorstCaseNoiseNet::WorstCaseNoiseNet(const ModelConfig& config)
   PDN_CHECK(config.distance_channels > 0, "WorstCaseNoiseNet: B must be > 0");
   PDN_CHECK(config.tile_rows > 0 && config.tile_cols > 0,
             "WorstCaseNoiseNet: empty tile grid");
-  register_module(&distance_net_);
-  register_module(&fusion_net_);
-  register_module(&prediction_net_);
+  register_module(&distance_net_, "distance_net");
+  register_module(&fusion_net_, "fusion_net");
+  register_module(&prediction_net_, "prediction_net");
 }
 
-Var WorstCaseNoiseNet::forward(const Var& distance, const Var& currents) {
+Var WorstCaseNoiseNet::forward(const Var& distance,
+                               const Var& currents) const {
+  // Subnet 1 -> subnet 2 (fuse + reduce) -> subnet 3, through the same
+  // staged methods the serving layer batches over, so one request served
+  // through the fused path reproduces forward() bit for bit.
+  const Var d_tilde = reduce_distance(distance);
+  const Var stats = temporal_stats(fuse_currents(currents));
+  return predict_noise(nn::concat_channels({d_tilde, stats}));
+}
+
+Var WorstCaseNoiseNet::reduce_distance(const Var& distance) const {
   PDN_CHECK(distance.value().ndim() == 4 &&
                 distance.value().c() == config_.distance_channels,
             "forward: distance tensor has wrong channel count");
+  return distance_net_.forward(distance);
+}
+
+Var WorstCaseNoiseNet::fuse_currents(const Var& currents) const {
   PDN_CHECK(currents.value().ndim() == 4 && currents.value().c() == 1,
             "forward: currents tensor must be [T,1,m,n]");
+  return fusion_net_.forward(currents);
+}
 
-  // Subnet 1: B x m x n -> 1 x m x n distance map.
-  const Var d_tilde = distance_net_.forward(distance);
-
-  // Subnet 2: fuse each compressed time step (batched over T), then reduce
-  // over time per tile.
-  const Var fused = fusion_net_.forward(currents);
+Var WorstCaseNoiseNet::temporal_stats(const Var& fused) {
   const Var i_max = nn::batch_max(fused);
   const Var i_min = nn::batch_min(fused);
   const Var i_mean = nn::scale(nn::add(i_max, i_min), 0.5f);
   const Var i_msd = nn::batch_mean3sigma(fused);
+  return nn::concat_channels({i_max, i_mean, i_msd});
+}
 
-  // Subnet 3: 4 x m x n -> worst-case noise map.
-  const Var stacked = nn::concat_channels({d_tilde, i_max, i_mean, i_msd});
+Var WorstCaseNoiseNet::predict_noise(const Var& stacked) const {
+  PDN_CHECK(stacked.value().ndim() == 4 && stacked.value().c() == 4,
+            "forward: feature stack must be [N,4,m,n]");
   return prediction_net_.forward(stacked);
-}
-
-namespace {
-constexpr char kModelMagic[8] = {'P', 'D', 'N', 'M', 'O', 'D', 'L', '1'};
-}
-
-void save_model(WorstCaseNoiseNet& model, const std::string& path) {
-  {
-    std::ofstream out(path, std::ios::binary);
-    PDN_CHECK(out.good(), "save_model: cannot open " + path);
-    out.write(kModelMagic, sizeof(kModelMagic));
-    const ModelConfig& c = model.config();
-    out.write(reinterpret_cast<const char*>(&c), sizeof(c));
-    PDN_CHECK(out.good(), "save_model: header write failed");
-  }
-  // Weights appended via the parameter serializer into a sibling stream.
-  nn::save_parameters(model.parameters(), path + ".weights");
-}
-
-ModelConfig peek_model_config(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  PDN_CHECK(in.good(), "peek_model_config: cannot open " + path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  PDN_CHECK(in.good() && std::equal(magic, magic + 8, kModelMagic),
-            "peek_model_config: bad magic");
-  ModelConfig c;
-  in.read(reinterpret_cast<char*>(&c), sizeof(c));
-  PDN_CHECK(in.good(), "peek_model_config: truncated header");
-  return c;
-}
-
-void load_model(WorstCaseNoiseNet& model, const std::string& path) {
-  const ModelConfig stored = peek_model_config(path);
-  const ModelConfig& own = model.config();
-  PDN_CHECK(stored.distance_channels == own.distance_channels &&
-                stored.tile_rows == own.tile_rows &&
-                stored.tile_cols == own.tile_cols && stored.c1 == own.c1 &&
-                stored.c2 == own.c2 && stored.c3 == own.c3,
-            "load_model: architecture mismatch");
-  nn::load_parameters(model.parameters(), path + ".weights");
 }
 
 }  // namespace pdnn::core

@@ -30,7 +30,7 @@ class UNet2 : public nn::Module {
  public:
   UNet2(int in_channels, int channels, int out_channels, util::Rng& rng);
 
-  nn::Var forward(const nn::Var& x);
+  nn::Var forward(const nn::Var& x) const;
 
  private:
   nn::Conv2d in_conv_;
@@ -49,7 +49,7 @@ class FusionNet : public nn::Module {
   FusionNet(int channels, util::Rng& rng);
 
   /// x: [T, 1, m, n] -> fused per-step maps [T, 1, m, n].
-  nn::Var forward(const nn::Var& x);
+  nn::Var forward(const nn::Var& x) const;
 
  private:
   nn::Conv2d enc1_, enc2_;
@@ -71,13 +71,44 @@ struct ModelConfig {
 };
 
 /// The full three-subnet model.
+///
+/// Concurrency contract: every forward method is const and only reads the
+/// registered parameters, so concurrent forward passes over one frozen model
+/// are safe (the serving layer relies on this). Training mutates parameters
+/// and must not overlap with concurrent inference on the same instance.
+///
+/// The staged methods expose the subnets individually so callers can reuse
+/// stage outputs: the distance reduction depends only on the design (the
+/// pipeline computes it once and reuses it for every prediction) and the
+/// serving layer fuses many requests' current stacks through one batched
+/// fuse_currents / predict_noise pass. forward() composes exactly these
+/// stages, so the serial and batched paths share machine code and produce
+/// bit-identical results.
 class WorstCaseNoiseNet : public nn::Module {
  public:
   explicit WorstCaseNoiseNet(const ModelConfig& config);
 
   /// distance: [1, B, m, n]; currents: [T, 1, m, n] (any T >= 1).
   /// Returns the predicted normalized worst-case noise map [1, 1, m, n].
-  nn::Var forward(const nn::Var& distance, const nn::Var& currents);
+  nn::Var forward(const nn::Var& distance, const nn::Var& currents) const;
+
+  /// Subnet 1: [1, B, m, n] bump distances -> [1, 1, m, n] reduced map D~.
+  nn::Var reduce_distance(const nn::Var& distance) const;
+
+  /// Subnet 2, conv part: [T, 1, m, n] current maps -> [T, 1, m, n] fused
+  /// maps. T is a pure batch axis (weights are shared across time), so
+  /// stacking several requests' steps into one call yields per-step results
+  /// bit-identical to separate calls.
+  nn::Var fuse_currents(const nn::Var& currents) const;
+
+  /// Subnet 2, reduction part: fused [T, 1, m, n] -> [1, 3, m, n] stack of
+  /// the temporal statistics I~max, I~mean, I~msd.
+  static nn::Var temporal_stats(const nn::Var& fused);
+
+  /// Subnet 3: [N, 4, m, n] stacked features (D~, I~max, I~mean, I~msd) ->
+  /// [N, 1, m, n] normalized worst-case noise maps. N > 1 batches
+  /// independent requests.
+  nn::Var predict_noise(const nn::Var& stacked) const;
 
   const ModelConfig& config() const { return config_; }
 
@@ -89,7 +120,9 @@ class WorstCaseNoiseNet : public nn::Module {
   UNet2 prediction_net_;
 };
 
-/// Persist config + weights; load verifies the architecture matches.
+/// Compat shims over the single-file artifact container (core/artifact.hpp):
+/// save_model writes an artifact with default compressor options; load_model
+/// verifies the stored architecture matches and loads the weights.
 void save_model(WorstCaseNoiseNet& model, const std::string& path);
 ModelConfig peek_model_config(const std::string& path);
 void load_model(WorstCaseNoiseNet& model, const std::string& path);

@@ -6,7 +6,7 @@
 
 namespace pdnn::nn {
 
-int NoGradGuard::depth_ = 0;
+thread_local int NoGradGuard::depth_ = 0;
 
 NoGradGuard::NoGradGuard() { ++depth_; }
 NoGradGuard::~NoGradGuard() { --depth_; }

@@ -64,6 +64,9 @@ class Var {
 
 /// RAII guard disabling tape construction (inference mode). Nested guards
 /// are allowed; autograd resumes when the outermost guard is destroyed.
+/// The guard depth is thread_local, so each thread controls its own grad
+/// mode and concurrent no-grad inference (e.g. the serving layer's client
+/// threads) never races the training thread's tape construction.
 class NoGradGuard {
  public:
   NoGradGuard();
@@ -74,7 +77,7 @@ class NoGradGuard {
   static bool enabled();  ///< true when gradients are being recorded
 
  private:
-  static int depth_;
+  static thread_local int depth_;
 };
 
 }  // namespace pdnn::nn

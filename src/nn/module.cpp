@@ -35,6 +35,11 @@ Parameter* Module::register_parameter(std::string name, Tensor init) {
 
 void Module::register_module(Module* child) { children_.push_back(child); }
 
+void Module::register_module(Module* child, const std::string& name) {
+  for (Parameter* p : child->parameters()) p->name = name + "." + p->name;
+  children_.push_back(child);
+}
+
 namespace {
 
 /// Kaiming-normal initialization for ReLU networks.
@@ -68,7 +73,7 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
   bias_ = register_parameter("bias", Tensor::zeros({out_channels}));
 }
 
-Var Conv2d::forward(const Var& x) {
+Var Conv2d::forward(const Var& x) const {
   return conv2d(x, weight_->var, bias_->var, stride_, pad_, pad_mode_);
 }
 
@@ -90,7 +95,7 @@ ConvTranspose2d::ConvTranspose2d(int in_channels, int out_channels, int kernel,
   bias_ = register_parameter("bias", Tensor::zeros({out_channels}));
 }
 
-Var ConvTranspose2d::forward(const Var& x) {
+Var ConvTranspose2d::forward(const Var& x) const {
   return conv_transpose2d(x, weight_->var, bias_->var, stride_, pad_,
                           output_padding_);
 }

@@ -41,6 +41,11 @@ class Module {
  protected:
   Parameter* register_parameter(std::string name, Tensor init);
   void register_module(Module* child);
+  /// Register a child and qualify its parameter names as "<name>.<param>".
+  /// Children register their own parameters first, so nested registration
+  /// composes into full dotted paths ("fusion_net.enc1.weight") and
+  /// serialization errors identify the exact tensor.
+  void register_module(Module* child, const std::string& name);
 
  private:
   std::vector<std::unique_ptr<Parameter>> own_;
@@ -48,12 +53,17 @@ class Module {
 };
 
 /// 2-D convolution layer (see conv2d). Kaiming-normal weight init.
+///
+/// forward() is const: it only reads the registered parameters, so
+/// concurrent forward passes over shared (frozen) weights are safe as long
+/// as no thread is mutating them (training and serving must not overlap on
+/// one module).
 class Conv2d : public Module {
  public:
   Conv2d(int in_channels, int out_channels, int kernel, int stride, int pad,
          PadMode pad_mode, util::Rng& rng);
 
-  Var forward(const Var& x);
+  Var forward(const Var& x) const;
 
   int in_channels() const { return in_channels_; }
   int out_channels() const { return out_channels_; }
@@ -71,7 +81,7 @@ class ConvTranspose2d : public Module {
   ConvTranspose2d(int in_channels, int out_channels, int kernel, int stride,
                   int pad, int output_padding, util::Rng& rng);
 
-  Var forward(const Var& x);
+  Var forward(const Var& x) const;
 
  private:
   int in_channels_, out_channels_, kernel_, stride_, pad_, output_padding_;

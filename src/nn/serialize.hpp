@@ -4,14 +4,30 @@
 // length, name bytes, uint32 ndim, int32 dims..., float32 data. Loading
 // verifies names and shapes against the module's registration order, so a
 // weight file cannot silently attach to the wrong architecture.
+//
+// The stream overloads serialize the same "PDNW" block into the middle of a
+// larger container — core::save_artifact embeds it after the model/compressor
+// header so a checkpoint is one self-describing file. `context` labels error
+// messages (a path for the file overloads, the container path otherwise).
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "nn/module.hpp"
 
 namespace pdnn::nn {
+
+/// Write all parameters as one "PDNW" block at the stream's current position.
+void save_parameters(const std::vector<Parameter*>& params, std::ostream& out,
+                     const std::string& context);
+
+/// Read a "PDNW" block from the stream's current position into the module's
+/// existing tensors. Throws CheckError on any name/shape mismatch, naming
+/// the offending parameter.
+void load_parameters(const std::vector<Parameter*>& params, std::istream& in,
+                     const std::string& context);
 
 /// Write all parameters to a file.
 void save_parameters(std::vector<Parameter*> params, const std::string& path);

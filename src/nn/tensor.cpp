@@ -86,6 +86,39 @@ Tensor Tensor::reshaped(std::vector<int> shape) const {
   return t;
 }
 
+Tensor Tensor::narrow_n(int begin, int count) const {
+  PDN_CHECK(ndim() == 4, "narrow_n requires a 4-D tensor");
+  PDN_CHECK(begin >= 0 && count >= 0 && begin + count <= dim(0),
+            "narrow_n: slice [" + std::to_string(begin) + ", " +
+                std::to_string(begin + count) + ") out of range for " +
+                shape_string());
+  const std::int64_t sample = numel() / dim(0);
+  Tensor t({count, dim(1), dim(2), dim(3)});
+  std::copy(data() + begin * sample, data() + (begin + count) * sample,
+            t.data());
+  return t;
+}
+
+Tensor Tensor::concat_n(const std::vector<Tensor>& parts) {
+  PDN_CHECK(!parts.empty(), "concat_n: no tensors");
+  const Tensor& first = parts.front();
+  PDN_CHECK(first.ndim() == 4, "concat_n requires 4-D tensors");
+  int total = 0;
+  for (const Tensor& p : parts) {
+    PDN_CHECK(p.ndim() == 4 && p.dim(1) == first.dim(1) &&
+                  p.dim(2) == first.dim(2) && p.dim(3) == first.dim(3),
+              "concat_n: shape mismatch " + p.shape_string() + " vs " +
+                  first.shape_string());
+    total += p.dim(0);
+  }
+  Tensor t({total, first.dim(1), first.dim(2), first.dim(3)});
+  float* dst = t.data();
+  for (const Tensor& p : parts) {
+    dst = std::copy(p.data(), p.data() + p.numel(), dst);
+  }
+  return t;
+}
+
 void Tensor::fill(float v) {
   std::fill(storage_->begin(), storage_->end(), v);
 }

@@ -50,6 +50,14 @@ class Tensor {
   /// Same storage, new shape (element counts must match).
   Tensor reshaped(std::vector<int> shape) const;
 
+  /// Deep copy of `count` samples starting at `begin` along the batch (N)
+  /// axis of a 4-D tensor. Batch slices are contiguous in NCHW, so this is
+  /// one memcpy.
+  Tensor narrow_n(int begin, int count) const;
+
+  /// Concatenate 4-D tensors along the batch (N) axis; C/H/W must match.
+  static Tensor concat_n(const std::vector<Tensor>& parts);
+
   void fill(float v);
   void zero() { fill(0.0f); }
 

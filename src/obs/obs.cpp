@@ -160,6 +160,12 @@ const char* counter_name(Counter c) {
     case Counter::kSimBatchWidthMax: return "sim.batch_width_max";
     case Counter::kTrainEpochs: return "train.epochs";
     case Counter::kTrainSamples: return "train.samples";
+    case Counter::kServeRequests: return "serve.requests";
+    case Counter::kServeBatches: return "serve.batches";
+    case Counter::kServeBatchWidthMax: return "serve.batch_width_max";
+    case Counter::kServeQueueDepthMax: return "serve.queue_depth_max";
+    case Counter::kServeTimeouts: return "serve.timeouts";
+    case Counter::kServeOverloads: return "serve.overloads";
     case Counter::kCount: break;
   }
   return "?";
@@ -171,6 +177,8 @@ bool counter_is_gauge(Counter c) {
     case Counter::kCholBatchWidthMax:
     case Counter::kConvIm2colBytesMax:
     case Counter::kSimBatchWidthMax:
+    case Counter::kServeBatchWidthMax:
+    case Counter::kServeQueueDepthMax:
       return true;
     default:
       return false;

@@ -53,6 +53,12 @@ enum class Counter : int {
   kSimBatchWidthMax,    ///< widest lockstep transient batch
   kTrainEpochs,         ///< training epochs completed
   kTrainSamples,        ///< sample visits across all epochs
+  kServeRequests,       ///< NoiseServer requests accepted into the queue
+  kServeBatches,        ///< fused micro-batches executed by the worker
+  kServeBatchWidthMax,  ///< widest fused micro-batch
+  kServeQueueDepthMax,  ///< deepest observed request queue
+  kServeTimeouts,       ///< requests rejected past their deadline
+  kServeOverloads,      ///< requests rejected because the queue was full
   kCount
 };
 

@@ -1,0 +1,276 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace pdnn::serve {
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kTimedOut: return "timed_out";
+    case Status::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+struct NoiseServer::Impl {
+  struct DesignEntry {
+    std::string name;
+    core::ModelArtifact artifact;  // owns the model the pipeline references
+    core::WorstCasePipeline pipeline;
+
+    DesignEntry(std::string design_name, const pdn::PowerGrid& grid,
+                core::ModelArtifact art)
+        : name(std::move(design_name)),
+          artifact(std::move(art)),
+          pipeline(grid, *artifact.model,
+                   core::PipelineOptions{artifact.temporal}) {}
+  };
+
+  struct Request {
+    const DesignEntry* entry = nullptr;
+    core::PreparedRequest prepared;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+    std::promise<Response> promise;
+  };
+
+  explicit Impl(const ServeOptions& options) : options_(options) {
+    PDN_CHECK(options_.max_batch > 0, "NoiseServer: max_batch must be > 0");
+    PDN_CHECK(options_.queue_capacity > 0,
+              "NoiseServer: queue_capacity must be > 0");
+    worker_ = std::thread([this] { run(); });
+  }
+
+  /// Worker loop: wait for work, slice a same-design batch off the queue
+  /// front, run one fused forward pass, deliver responses. Exits once a
+  /// shutdown is requested and the queue has drained.
+  void run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+
+      // Strict FIFO-prefix batching: take requests from the front while they
+      // target the same design, dropping any whose deadline already passed.
+      // FIFO keeps the batch composition deterministic for a given arrival
+      // order; per-request bits never depend on it (pipeline.hpp).
+      const Clock::time_point now = Clock::now();
+      const DesignEntry* entry = queue_.front().entry;
+      std::vector<Request> batch;
+      std::vector<Request> expired;
+      while (!queue_.empty() && queue_.front().entry == entry &&
+             static_cast<int>(batch.size()) < options_.max_batch) {
+        Request r = std::move(queue_.front());
+        queue_.pop_front();
+        if (r.has_deadline && now >= r.deadline) {
+          expired.push_back(std::move(r));
+        } else {
+          batch.push_back(std::move(r));
+        }
+      }
+      // Book the batch into the stats while still holding the lock;
+      // stats()/predict() read them under the same mutex.
+      const int width = static_cast<int>(batch.size());
+      stats_.timeouts += static_cast<std::int64_t>(expired.size());
+      if (width > 0) {
+        ++stats_.batches;
+        stats_.batch_width_max = std::max(stats_.batch_width_max, width);
+      }
+      lock.unlock();
+
+      for (Request& r : expired) {
+        obs::counter_add(obs::Counter::kServeTimeouts, 1);
+        Response resp;
+        resp.status = Status::kTimedOut;
+        resp.queue_seconds = seconds_between(r.enqueued, now);
+        r.promise.set_value(std::move(resp));
+      }
+
+      std::int64_t delivered = 0;
+      if (width > 0) {
+        obs::counter_add(obs::Counter::kServeBatches, 1);
+        obs::counter_max(obs::Counter::kServeBatchWidthMax, width);
+        try {
+          obs::TraceSpan span("serve.batch", "width", width);
+          std::vector<const core::PreparedRequest*> prepared;
+          prepared.reserve(batch.size());
+          for (const Request& r : batch) prepared.push_back(&r.prepared);
+          const Clock::time_point start = Clock::now();
+          std::vector<util::MapF> maps =
+              entry->pipeline.infer_batch(prepared);
+          const double infer_s = seconds_between(start, Clock::now());
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            Response resp;
+            resp.status = Status::kOk;
+            resp.noise = std::move(maps[i]);
+            resp.queue_seconds = seconds_between(batch[i].enqueued, now);
+            resp.infer_seconds = infer_s;
+            resp.batch_width = width;
+            resp.kept_steps = batch[i].prepared.kept_steps;
+            batch[i].promise.set_value(std::move(resp));
+            ++delivered;
+          }
+        } catch (...) {
+          // Deliver the failure to every caller in the batch; the worker
+          // itself stays up for subsequent requests.
+          const std::exception_ptr error = std::current_exception();
+          for (Request& r : batch) r.promise.set_exception(error);
+        }
+      }
+      lock.lock();
+      stats_.completed += delivered;
+    }
+  }
+
+  ServeOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  std::vector<std::unique_ptr<DesignEntry>> designs_;
+  bool stopping_ = false;
+  bool paused_ = false;
+  Stats stats_;
+  std::thread worker_;
+};
+
+NoiseServer::NoiseServer(ServeOptions options)
+    : options_(options), impl_(std::make_unique<Impl>(options_)) {}
+
+NoiseServer::~NoiseServer() { shutdown(); }
+
+DesignId NoiseServer::add_design(std::string name, const pdn::PowerGrid& grid,
+                                 core::ModelArtifact artifact) {
+  PDN_CHECK(artifact.model != nullptr,
+            "NoiseServer::add_design: artifact has no model (was it peeked, "
+            "not loaded?)");
+  auto entry = std::make_unique<Impl::DesignEntry>(std::move(name), grid,
+                                                   std::move(artifact));
+  std::lock_guard<std::mutex> lock(impl_->mu_);
+  PDN_CHECK(!impl_->stopping_, "NoiseServer::add_design: server is shut down");
+  impl_->designs_.push_back(std::move(entry));
+  return static_cast<DesignId>(impl_->designs_.size()) - 1;
+}
+
+Response NoiseServer::predict(DesignId design,
+                              const vectors::CurrentTrace& trace,
+                              double deadline_seconds) {
+  const Impl::DesignEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu_);
+    PDN_CHECK(design >= 0 &&
+                  design < static_cast<DesignId>(impl_->designs_.size()),
+              "NoiseServer::predict: unknown design id " +
+                  std::to_string(design));
+    if (impl_->stopping_) {
+      Response resp;
+      resp.status = Status::kShutdown;
+      return resp;
+    }
+    entry = impl_->designs_[static_cast<std::size_t>(design)].get();
+  }
+
+  // Per-request compression runs on the caller's thread, overlapping with
+  // the worker's fused forward passes and other clients' prepares.
+  Impl::Request request;
+  request.entry = entry;
+  request.prepared = entry->pipeline.prepare(trace);
+
+  if (deadline_seconds < 0.0) {
+    deadline_seconds = options_.default_deadline_seconds;
+  }
+  request.enqueued = Clock::now();
+  if (deadline_seconds > 0.0) {
+    request.has_deadline = true;
+    request.deadline =
+        request.enqueued + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(deadline_seconds));
+  }
+  std::future<Response> future = request.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu_);
+    if (impl_->stopping_) {
+      Response resp;
+      resp.status = Status::kShutdown;
+      return resp;
+    }
+    if (static_cast<int>(impl_->queue_.size()) >= options_.queue_capacity) {
+      ++impl_->stats_.overloads;
+      obs::counter_add(obs::Counter::kServeOverloads, 1);
+      Response resp;
+      resp.status = Status::kOverloaded;
+      return resp;
+    }
+    impl_->queue_.push_back(std::move(request));
+    ++impl_->stats_.requests;
+    const int depth = static_cast<int>(impl_->queue_.size());
+    impl_->stats_.queue_depth_max =
+        std::max(impl_->stats_.queue_depth_max, depth);
+    obs::counter_add(obs::Counter::kServeRequests, 1);
+    obs::counter_max(obs::Counter::kServeQueueDepthMax, depth);
+  }
+  impl_->cv_.notify_one();
+  return future.get();
+}
+
+void NoiseServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu_);
+    impl_->stopping_ = true;
+    impl_->paused_ = false;  // the drain must proceed even if paused
+  }
+  impl_->cv_.notify_all();
+  if (impl_->worker_.joinable()) impl_->worker_.join();
+}
+
+void NoiseServer::pause() {
+  std::lock_guard<std::mutex> lock(impl_->mu_);
+  impl_->paused_ = true;
+}
+
+void NoiseServer::resume() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu_);
+    impl_->paused_ = false;
+  }
+  impl_->cv_.notify_all();
+}
+
+int NoiseServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(impl_->mu_);
+  return static_cast<int>(impl_->queue_.size());
+}
+
+NoiseServer::Stats NoiseServer::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu_);
+  return impl_->stats_;
+}
+
+}  // namespace pdnn::serve

@@ -1,0 +1,130 @@
+// Concurrent micro-batching inference server (the "pdnn::serve" subsystem).
+//
+// A NoiseServer is a long-lived object owning one ModelArtifact per design
+// (model weights + spatial/temporal compressors + distance tensor +
+// normalization, bundled by core::load_artifact). Client threads call
+// predict() concurrently; each call runs the per-request compression
+// (WorstCasePipeline::prepare) on the *caller's* thread, then hands the
+// prepared request to a single worker thread through a bounded FIFO queue.
+// The worker drains the queue into fused micro-batches — up to
+// ServeOptions::max_batch requests for the same design, taken strictly from
+// the front of the queue — and runs one WorstCasePipeline::infer_batch pass
+// per batch, amortizing im2col/GEMM across requests. Per-request outputs are
+// bit-identical to a serial predict() at any client count or batch width
+// (see pipeline.hpp; locked in by the Serve tests).
+//
+// Robustness:
+//   * Backpressure  — the queue is bounded; when full, predict() returns
+//     Status::kOverloaded immediately instead of growing memory.
+//   * Deadlines     — a request carries an optional deadline; if it is still
+//     queued when the deadline passes the worker rejects it with
+//     Status::kTimedOut instead of wasting a batch slot on a stale request.
+//   * Graceful drain — shutdown() stops accepting new requests, lets the
+//     worker finish everything already queued, then joins the thread. The
+//     destructor calls shutdown().
+//
+// Observability: every accepted request and executed batch bumps the
+// serve.* counters (obs.hpp) and each fused batch is wrapped in a
+// "serve.batch" trace span, so queue depth, batch width, and rejection
+// totals land in the standard metrics JSON.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/artifact.hpp"
+#include "core/pipeline.hpp"
+#include "pdn/design.hpp"
+#include "util/grid2d.hpp"
+#include "vectors/current_trace.hpp"
+
+namespace pdnn::serve {
+
+/// Terminal state of one predict() call.
+enum class Status {
+  kOk,          ///< noise map computed
+  kOverloaded,  ///< rejected at enqueue: the bounded queue was full
+  kTimedOut,    ///< rejected at dequeue: deadline passed while queued
+  kShutdown,    ///< rejected: server is (or went) down
+};
+
+const char* to_string(Status status);
+
+struct ServeOptions {
+  /// Widest fused micro-batch (requests per infer_batch call).
+  int max_batch = 8;
+  /// Bounded queue capacity; enqueue beyond this returns kOverloaded.
+  int queue_capacity = 64;
+  /// Deadline applied when predict() is called without one; 0 disables.
+  double default_deadline_seconds = 0.0;
+};
+
+/// Result of one predict() call. `noise` is defined iff status == kOk.
+struct Response {
+  Status status = Status::kShutdown;
+  util::MapF noise;            ///< worst-case noise map (volts)
+  double queue_seconds = 0.0;  ///< time spent waiting in the queue
+  double infer_seconds = 0.0;  ///< wall time of the fused batch this rode in
+  int batch_width = 0;         ///< width of that fused batch
+  int kept_steps = 0;          ///< post-Algorithm-1 steps for this request
+};
+
+using DesignId = int;
+
+class NoiseServer {
+ public:
+  explicit NoiseServer(ServeOptions options = {});
+  ~NoiseServer();  ///< calls shutdown()
+
+  NoiseServer(const NoiseServer&) = delete;
+  NoiseServer& operator=(const NoiseServer&) = delete;
+
+  /// Register a design. Takes ownership of the artifact (and its model);
+  /// `grid` is captured by reference and must outlive the server. Call
+  /// before issuing predictions for the returned id; thread-safe against
+  /// concurrent predict() calls on other designs.
+  DesignId add_design(std::string name, const pdn::PowerGrid& grid,
+                      core::ModelArtifact artifact);
+
+  /// Predict the worst-case noise map for one test vector. Blocking; safe
+  /// to call from many threads concurrently. `deadline_seconds` < 0 uses
+  /// ServeOptions::default_deadline_seconds; 0 means no deadline.
+  Response predict(DesignId design, const vectors::CurrentTrace& trace,
+                   double deadline_seconds = -1.0);
+
+  /// Stop accepting requests, drain everything queued, join the worker.
+  /// Idempotent.
+  void shutdown();
+
+  /// Test hooks: while paused the worker dequeues nothing, so tests can
+  /// deterministically fill the queue (kOverloaded) or expire deadlines
+  /// (kTimedOut). shutdown() resumes automatically so the drain completes.
+  void pause();
+  void resume();
+
+  /// Requests currently waiting (excludes any batch being executed).
+  int queue_depth() const;
+
+  /// Server-local totals (the obs serve.* counters are process-global).
+  struct Stats {
+    std::int64_t requests = 0;   ///< accepted into the queue
+    std::int64_t completed = 0;  ///< served with kOk
+    std::int64_t batches = 0;    ///< fused batches executed
+    std::int64_t timeouts = 0;   ///< rejected with kTimedOut
+    std::int64_t overloads = 0;  ///< rejected with kOverloaded
+    int batch_width_max = 0;     ///< widest fused batch
+    int queue_depth_max = 0;     ///< deepest observed queue
+  };
+  Stats stats() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Impl;
+  ServeOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pdnn::serve

@@ -1,0 +1,282 @@
+// Concurrent inference-server tests. Suite names start with "Serve" so the
+// TSan CI job picks them up alongside the ThreadPool/Parallel/Obs suites.
+//
+// The load-bearing property: a served prediction is byte-for-byte identical
+// to the serial pipeline at every client count and batch width. The rest
+// exercises the robustness paths deterministically via pause()/resume():
+// a paused worker lets tests fill the bounded queue (overload), expire
+// deadlines (timeout), and stack requests for the shutdown drain.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact.hpp"
+#include "core/model.hpp"
+#include "core/pipeline.hpp"
+#include "serve/server.hpp"
+#include "util/check.hpp"
+#include "vectors/generator.hpp"
+
+namespace pdnn {
+namespace {
+
+pdn::DesignSpec tiny_spec() {
+  pdn::DesignSpec s;
+  s.name = "tiny";
+  s.tile_rows = 6;
+  s.tile_cols = 6;
+  s.nodes_per_tile = 2;
+  s.top_stride = 3;
+  s.bump_pitch = 2;
+  s.num_loads = 14;
+  s.unit_current = 5e-3;
+  s.seed = 41;
+  return s;
+}
+
+bool maps_equal(const util::MapF& a, const util::MapF& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Grid + randomly initialized model + traces; accuracy is irrelevant to
+/// the serving semantics under test.
+struct Fixture {
+  pdn::PowerGrid grid{tiny_spec()};
+  core::ModelConfig config;
+  std::unique_ptr<core::WorstCaseNoiseNet> model;
+  core::TemporalCompressionOptions temporal;
+  std::vector<vectors::CurrentTrace> traces;
+
+  explicit Fixture(int num_traces) {
+    config.distance_channels = static_cast<int>(grid.bumps().size());
+    config.tile_rows = 6;
+    config.tile_cols = 6;
+    config.init_seed = 7;
+    model = std::make_unique<core::WorstCaseNoiseNet>(config);
+    temporal.rate = 0.25;
+    vectors::VectorGenParams params;
+    params.num_steps = 24;
+    vectors::TestVectorGenerator gen(grid, params, 99);
+    traces.reserve(static_cast<std::size_t>(num_traces));
+    for (int i = 0; i < num_traces; ++i) traces.push_back(gen.generate());
+  }
+
+  core::ModelArtifact artifact() const {
+    // Unique per test process: ctest runs the discovered tests in parallel.
+    const std::string path =
+        testing::TempDir() + "serve_fixture_" +
+        testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".pdnb";
+    core::save_artifact(*model, temporal, path);
+    core::ModelArtifact art = core::load_artifact(path);
+    std::remove(path.c_str());
+    return art;
+  }
+
+  core::WorstCasePipeline pipeline() const {
+    return core::WorstCasePipeline(grid, *model,
+                                   core::PipelineOptions{temporal});
+  }
+
+  /// Wait (bounded) for `pred` to become true while the server is paused.
+  template <typename Pred>
+  static bool eventually(Pred pred) {
+    for (int i = 0; i < 2000; ++i) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return pred();
+  }
+};
+
+TEST(ServePipeline, BatchWidthDoesNotChangeBits) {
+  Fixture f(5);
+  const core::WorstCasePipeline pipeline = f.pipeline();
+  std::vector<core::PreparedRequest> prepared;
+  std::vector<util::MapF> serial;
+  for (const auto& trace : f.traces) {
+    prepared.push_back(pipeline.prepare(trace));
+    serial.push_back(pipeline.infer(prepared.back()));
+  }
+  for (const int width : {2, 5}) {
+    for (std::size_t begin = 0; begin + width <= prepared.size(); ++begin) {
+      std::vector<const core::PreparedRequest*> batch;
+      for (int i = 0; i < width; ++i) batch.push_back(&prepared[begin + i]);
+      const std::vector<util::MapF> fused = pipeline.infer_batch(batch);
+      for (int i = 0; i < width; ++i) {
+        EXPECT_TRUE(maps_equal(fused[static_cast<std::size_t>(i)],
+                               serial[begin + static_cast<std::size_t>(i)]))
+            << "width " << width << " request "
+            << begin + static_cast<std::size_t>(i);
+      }
+    }
+  }
+}
+
+TEST(ServeServer, MatchesSerialPredictAtEveryClientCount) {
+  Fixture f(8);
+  const core::WorstCasePipeline pipeline = f.pipeline();
+  std::vector<util::MapF> expected;
+  for (const auto& trace : f.traces) {
+    expected.push_back(pipeline.predict(trace));
+  }
+
+  for (const int clients : {1, 4, 8}) {
+    serve::NoiseServer server;
+    const serve::DesignId id =
+        server.add_design("tiny", f.grid, f.artifact());
+    std::vector<serve::Response> responses(f.traces.size());
+    std::vector<std::thread> workers;
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        for (std::size_t i = static_cast<std::size_t>(c); i < f.traces.size();
+             i += static_cast<std::size_t>(clients)) {
+          responses[i] = server.predict(id, f.traces[i]);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    server.shutdown();
+
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      ASSERT_EQ(responses[i].status, serve::Status::kOk) << "client count "
+                                                         << clients;
+      EXPECT_TRUE(maps_equal(responses[i].noise, expected[i]))
+          << "request " << i << " at " << clients << " clients";
+      EXPECT_GE(responses[i].batch_width, 1);
+      EXPECT_GT(responses[i].kept_steps, 0);
+    }
+  }
+}
+
+TEST(ServeServer, OverloadedWhenBoundedQueueIsFull) {
+  Fixture f(3);
+  serve::ServeOptions options;
+  options.queue_capacity = 2;
+  serve::NoiseServer server(options);
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+
+  server.pause();  // nothing dequeues: the third concurrent request must
+                   // bounce off the full queue instead of growing it
+  std::vector<serve::Response> responses(3);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.emplace_back([&, i] {
+      const auto idx = static_cast<std::size_t>(i);
+      responses[idx] = server.predict(id, f.traces[idx]);
+    });
+  }
+  ASSERT_TRUE(Fixture::eventually([&] {
+    return server.stats().overloads == 1 && server.queue_depth() == 2;
+  }));
+  server.resume();
+  for (std::thread& c : clients) c.join();
+  server.shutdown();
+
+  int ok = 0, overloaded = 0;
+  for (const serve::Response& r : responses) {
+    if (r.status == serve::Status::kOk) ++ok;
+    if (r.status == serve::Status::kOverloaded) ++overloaded;
+  }
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(overloaded, 1);
+  EXPECT_EQ(server.stats().overloads, 1);
+  EXPECT_EQ(server.stats().completed, 2);
+}
+
+TEST(ServeServer, DeadlinePassedInQueueTimesOut) {
+  Fixture f(1);
+  serve::NoiseServer server;
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+
+  server.pause();
+  serve::Response response;
+  std::thread client([&] {
+    response = server.predict(id, f.traces.front(), /*deadline_seconds=*/1e-3);
+  });
+  ASSERT_TRUE(Fixture::eventually([&] { return server.queue_depth() == 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  server.resume();  // by now the deadline has passed; the worker must reject
+  client.join();
+  server.shutdown();
+
+  EXPECT_EQ(response.status, serve::Status::kTimedOut);
+  EXPECT_GT(response.queue_seconds, 0.0);
+  EXPECT_EQ(server.stats().timeouts, 1);
+  EXPECT_EQ(server.stats().completed, 0);
+}
+
+TEST(ServeServer, ShutdownDrainsQueuedRequestsThenRejects) {
+  Fixture f(3);
+  serve::NoiseServer server;
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+
+  server.pause();
+  std::vector<serve::Response> responses(3);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.emplace_back([&, i] {
+      const auto idx = static_cast<std::size_t>(i);
+      responses[idx] = server.predict(id, f.traces[idx]);
+    });
+  }
+  ASSERT_TRUE(Fixture::eventually([&] { return server.queue_depth() == 3; }));
+  server.shutdown();  // graceful: everything queued is still served
+  for (std::thread& c : clients) c.join();
+
+  for (const serve::Response& r : responses) {
+    EXPECT_EQ(r.status, serve::Status::kOk);
+  }
+  EXPECT_EQ(server.stats().completed, 3);
+
+  const serve::Response after = server.predict(id, f.traces.front());
+  EXPECT_EQ(after.status, serve::Status::kShutdown);
+}
+
+TEST(ServeServer, StatsAndStatusStrings) {
+  Fixture f(4);
+  serve::ServeOptions options;
+  options.max_batch = 2;
+  serve::NoiseServer server(options);
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+  for (const auto& trace : f.traces) {
+    EXPECT_EQ(server.predict(id, trace).status, serve::Status::kOk);
+  }
+  server.shutdown();
+
+  const serve::NoiseServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.requests, 4);
+  EXPECT_EQ(stats.completed, 4);
+  EXPECT_GE(stats.batches, 2);  // one client: widths 1..2 with max_batch 2
+  EXPECT_LE(stats.batch_width_max, 2);
+  EXPECT_EQ(stats.timeouts, 0);
+  EXPECT_EQ(stats.overloads, 0);
+
+  EXPECT_STREQ(serve::to_string(serve::Status::kOk), "ok");
+  EXPECT_STREQ(serve::to_string(serve::Status::kOverloaded), "overloaded");
+  EXPECT_STREQ(serve::to_string(serve::Status::kTimedOut), "timed_out");
+  EXPECT_STREQ(serve::to_string(serve::Status::kShutdown), "shutdown");
+}
+
+TEST(ServeServer, RejectsUnknownDesignAndPeekedArtifacts) {
+  Fixture f(1);
+  serve::NoiseServer server;
+  EXPECT_THROW(server.predict(3, f.traces.front()), util::CheckError);
+
+  // An artifact that was only peeked has no model to serve.
+  const std::string path = testing::TempDir() + "serve_peeked.pdnb";
+  core::save_artifact(*f.model, f.temporal, path);
+  core::ModelArtifact peeked = core::peek_artifact(path);
+  std::remove(path.c_str());
+  EXPECT_THROW(server.add_design("tiny", f.grid, std::move(peeked)),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace pdnn
