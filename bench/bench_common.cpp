@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -57,6 +58,15 @@ void add_runtime_flags(util::ArgParser& args) {
   args.add_flag("sim-batch", "0",
                 "traces per lockstep multi-RHS transient batch "
                 "(0: PDNN_SIM_BATCH or 8; any width is bit-identical)");
+  args.add_flag("store-dir", "",
+                "persistent run store: content-addressed golden-simulation "
+                "cache + training checkpoints (empty: PDNN_STORE, or off)");
+  args.add_flag("checkpoint-every", "0",
+                "write a training checkpoint into the store every N epochs "
+                "(0: off; needs --store-dir)");
+  args.add_bool("resume",
+                "restore the store's training checkpoint before training "
+                "(bit-identical to an uninterrupted run; needs --store-dir)");
   add_metrics_flags(args);
 }
 
@@ -66,6 +76,24 @@ RuntimeConfig apply_runtime_flags(const util::ArgParser& args) {
   if (rc.threads > 0) util::ThreadPool::set_global_threads(rc.threads);
   rc.sim_batch = sim::resolve_sim_batch(args.get_int("sim-batch"));
   return rc;
+}
+
+StoreFlags store_flags_from_args(const util::ArgParser& args) {
+  StoreFlags sf;
+  sf.dir = args.get("store-dir");
+  if (sf.dir.empty()) {
+    if (const char* env = std::getenv("PDNN_STORE")) sf.dir = env;
+  }
+  sf.checkpoint_every = args.get_int("checkpoint-every");
+  sf.resume = args.get_bool("resume");
+  PDN_CHECK(sf.dir.empty() ? sf.checkpoint_every <= 0 && !sf.resume : true,
+            "--checkpoint-every/--resume need --store-dir (or PDNN_STORE)");
+  return sf;
+}
+
+std::unique_ptr<store::Store> open_store(const std::string& dir) {
+  if (dir.empty()) return nullptr;
+  return std::make_unique<store::Store>(dir);
 }
 
 void add_serve_flags(util::ArgParser& args) {
@@ -109,6 +137,10 @@ ExperimentOptions options_from_args(const util::ArgParser& args) {
   const RuntimeConfig rc = apply_runtime_flags(args);
   o.threads = rc.threads;
   o.sim_batch = args.get_int("sim-batch");
+  const StoreFlags sf = store_flags_from_args(args);
+  o.store_dir = sf.dir;
+  o.checkpoint_every = sf.checkpoint_every;
+  o.resume = sf.resume;
   return o;
 }
 
@@ -140,10 +172,13 @@ DesignExperiment run_design_experiment(const pdn::DesignSpec& base_spec,
               ex.grid->bumps().size(), ex.spec.tile_rows, ex.spec.tile_cols);
   }
 
-  // 2) Golden dataset.
+  // 2) Golden dataset — warm vectors replay from the persistent store.
+  std::unique_ptr<store::Store> run_store = open_store(options.store_dir);
   vectors::TestVectorGenerator gen(*ex.grid, gen_params, ex.spec.seed);
-  ex.raw = core::simulate_dataset(*ex.grid, *ex.simulator, gen,
-                                  options.num_vectors, {}, options.sim_batch);
+  ex.raw =
+      core::simulate_dataset(*ex.grid, *ex.simulator, gen,
+                             options.num_vectors, {}, options.sim_batch,
+                             run_store.get());
   if (options.ablate_distance) ex.raw.distance.zero();
 
   core::TemporalCompressionOptions temporal;
@@ -172,6 +207,17 @@ DesignExperiment run_design_experiment(const pdn::DesignSpec& base_spec,
           ? options.lr_decay
           : std::pow(0.02f, 1.0f / static_cast<float>(options.epochs));
   topt.verbose = options.verbose;
+  if (options.checkpoint_every > 0 || options.resume) {
+    PDN_CHECK(!options.store_dir.empty(),
+              "checkpointing needs --store-dir (or PDNN_STORE)");
+    // One checkpoint per design, named so multi-design drivers don't
+    // collide in a shared store.
+    topt.checkpoint_path =
+        options.store_dir + "/ckpt_" + ex.spec.name + ".pdnt";
+    topt.checkpoint_every =
+        options.checkpoint_every > 0 ? options.checkpoint_every : 1;
+    topt.resume = options.resume;
+  }
   ex.train_report = core::train_model(*ex.model, ex.data, topt);
   ex.stage_seconds.emplace_back("train", stage.lap("bench.train"));
 

@@ -24,6 +24,7 @@
 #include "serve/server.hpp"
 #include "sim/calibrate.hpp"
 #include "sim/transient.hpp"
+#include "store/store.hpp"
 #include "util/cli.hpp"
 #include "vectors/generator.hpp"
 
@@ -46,6 +47,9 @@ struct ExperimentOptions {
   bool verbose = false;
   int threads = 0;   ///< pool size; 0 = PDNN_THREADS / hardware concurrency
   int sim_batch = 0; ///< transient batch width; 0 = PDNN_SIM_BATCH / 8
+  std::string store_dir;     ///< persistent run store; empty = disabled
+  int checkpoint_every = 0;  ///< write a training checkpoint every N epochs
+  bool resume = false;       ///< restore the store's checkpoint before training
 };
 
 /// Defaults per scale, overridable from the CLI.
@@ -75,6 +79,22 @@ struct RuntimeConfig {
 /// Apply the parsed runtime flags: size the global thread pool and resolve
 /// the transient batch width. Call once, right after parse().
 RuntimeConfig apply_runtime_flags(const util::ArgParser& args);
+
+/// Resolved values of the persistent-store flags registered by
+/// add_runtime_flags (--store-dir / PDNN_STORE, --checkpoint-every,
+/// --resume).
+struct StoreFlags {
+  std::string dir;           ///< empty = store disabled
+  int checkpoint_every = 0;
+  bool resume = false;
+};
+
+StoreFlags store_flags_from_args(const util::ArgParser& args);
+
+/// Open the persistent run store named by `dir`, creating the directory on
+/// first use. Returns nullptr when `dir` is empty (store disabled) — callers
+/// pass the raw pointer straight to core::simulate_dataset.
+std::unique_ptr<store::Store> open_store(const std::string& dir);
 
 /// Register the serving flags (--serve-clients, --serve-batch,
 /// --serve-queue, --serve-deadline-ms, --serve-requests) for drivers that

@@ -28,6 +28,10 @@ int main(int argc, char** argv) {
   args.add_flag("strategy", "algorithm1", "algorithm1|uniform (ablation)");
   if (!args.parse(argc, argv)) return 0;
   ExperimentOptions options = options_from_args(args);
+  // The sweep shares the golden cache; checkpoints stay off because every
+  // (design, rate) point trains a distinct model.
+  const std::unique_ptr<store::Store> run_store =
+      open_store(options.store_dir);
   RunMetrics metrics("fig6_compression", args);
   const bool uniform = args.get("strategy") == "uniform";
   metrics.set("strategy", uniform ? "uniform" : "algorithm1");
@@ -60,8 +64,9 @@ int main(int argc, char** argv) {
     const pdn::PowerGrid grid(spec);
     sim::TransientSimulator simulator(grid, {});
     vectors::TestVectorGenerator gen(grid, gen_params, spec.seed);
-    core::RawDataset raw =
-        core::simulate_dataset(grid, simulator, gen, options.num_vectors);
+    core::RawDataset raw = core::simulate_dataset(
+        grid, simulator, gen, options.num_vectors, {}, options.sim_batch,
+        run_store.get());
     metrics.lap("simulate");
 
     for (double rate : rates) {

@@ -22,11 +22,15 @@ int main(int argc, char** argv) {
   const auto scale = pdn::scale_from_string(args.get("scale"));
   const int num_vectors = args.get_int("vectors");
   const int sim_batch = bench::apply_runtime_flags(args).sim_batch;
+  const bench::StoreFlags store_flags = bench::store_flags_from_args(args);
+  const std::unique_ptr<store::Store> run_store =
+      bench::open_store(store_flags.dir);
 
   bench::RunMetrics metrics("table1_designs", args);
   metrics.set("scale", pdn::to_string(scale));
   metrics.set("vectors", num_vectors);
   metrics.set("sim_batch", sim_batch);
+  if (run_store) metrics.set("store_dir", run_store->directory());
 
   vectors::VectorGenParams gen_params;
   gen_params.num_steps = args.get_int("steps");
@@ -46,28 +50,21 @@ int main(int argc, char** argv) {
 
     // Mean/max worst-case noise and hotspot ratio across sample vectors,
     // evaluated per tile like the paper (threshold: 10% of Vdd = 1 V). The
-    // traces are drawn serially, then replayed through the batched engine in
-    // lockstep blocks — per-vector results match serial simulate() bit for
-    // bit at any --sim-batch width.
-    std::vector<vectors::CurrentTrace> traces;
-    traces.reserve(static_cast<std::size_t>(num_vectors));
-    for (int v = 0; v < num_vectors; ++v) traces.push_back(gen.generate());
+    // dataset engine draws traces serially and replays them through the
+    // batched solver — bit-identical at any --sim-batch width — and, with
+    // --store-dir, serves warm vectors straight from the persistent store.
+    const core::RawDataset ds = core::simulate_dataset(
+        grid, simulator, gen, num_vectors, {}, sim_batch, run_store.get());
 
     double mean_wn = 0.0;
     double max_wn = 0.0;
     std::int64_t hot = 0, tiles = 0;
-    for (int begin = 0; begin < num_vectors; begin += sim_batch) {
-      const int width = std::min(sim_batch, num_vectors - begin);
-      const auto results = simulator.simulate_batch(
-          {traces.data() + begin, static_cast<std::size_t>(width)});
-      for (const auto& result : results) {
-        mean_wn += result.tile_worst_noise.mean();
-        max_wn = std::max(
-            max_wn, static_cast<double>(result.tile_worst_noise.max_value()));
-        for (float n : result.tile_worst_noise.storage()) {
-          ++tiles;
-          if (n >= 0.1 * spec.vdd) ++hot;
-        }
+    for (const core::RawSample& sample : ds.samples) {
+      mean_wn += sample.truth.mean();
+      max_wn = std::max(max_wn, static_cast<double>(sample.truth.max_value()));
+      for (float n : sample.truth.storage()) {
+        ++tiles;
+        if (n >= 0.1 * spec.vdd) ++hot;
       }
     }
     mean_wn /= num_vectors;

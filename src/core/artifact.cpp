@@ -4,43 +4,24 @@
 #include <fstream>
 
 #include "nn/serialize.hpp"
+#include "store/container.hpp"
 #include "util/check.hpp"
 
 namespace pdnn::core {
 
 namespace {
 
-constexpr char kMagic[4] = {'P', 'D', 'N', 'B'};
+using store::read_field;
+using store::write_field;
+
+constexpr char kMagic[5] = "PDNB";
 constexpr std::uint32_t kVersion = 1;
-
-template <typename T>
-void write_field(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-/// Read one fixed-width field; a short read names the field so a truncated
-/// or corrupt container points at exactly where it went wrong.
-template <typename T>
-T read_field(std::istream& in, const std::string& path, const char* field) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  PDN_CHECK(in.good(), "load_artifact: truncated file " + path +
-                           " reading field '" + field + "'");
-  return value;
-}
 
 /// Header reader shared by peek_artifact and load_artifact; leaves the
 /// stream positioned at the weight block.
 ModelArtifact read_header(std::istream& in, const std::string& path) {
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  PDN_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
-            "load_artifact: bad magic in " + path +
-                " (expected \"PDNB\"; field 'magic')");
-  const auto version = read_field<std::uint32_t>(in, path, "version");
-  PDN_CHECK(version == kVersion,
-            "load_artifact: unsupported version " + std::to_string(version) +
-                " in " + path + " (field 'version')");
+  store::check_magic(in, kMagic, path);
+  store::check_version(in, kVersion, path);
 
   ModelArtifact art;
   art.config.distance_channels =
@@ -72,7 +53,7 @@ void save_artifact(WorstCaseNoiseNet& model,
                    const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   PDN_CHECK(out.good(), "save_artifact: cannot open " + path);
-  out.write(kMagic, sizeof(kMagic));
+  store::write_magic(out, kMagic);
   write_field(out, kVersion);
   const ModelConfig& c = model.config();
   write_field(out, static_cast<std::int32_t>(c.distance_channels));

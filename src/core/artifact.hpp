@@ -13,7 +13,9 @@
 //   "PDNW" weight block               (nn/serialize layout)
 //
 // Every read is checked; truncation, a bad magic, or a shape mismatch throws
-// util::CheckError naming the offending field. save_model/load_model in
+// util::CheckError naming the offending field. The field read/write and
+// magic/version conventions are shared with the PDNC store chunks and PDNT
+// training checkpoints via store/container.hpp. save_model/load_model in
 // core/model.hpp are thin compat shims over this container.
 #pragma once
 

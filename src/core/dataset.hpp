@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/features.hpp"
@@ -18,6 +19,10 @@
 #include "sim/transient.hpp"
 #include "util/grid2d.hpp"
 #include "vectors/generator.hpp"
+
+namespace pdnn::store {
+class Store;
+}
 
 namespace pdnn::core {
 
@@ -47,10 +52,41 @@ struct RawDataset {
 /// sim::resolve_sim_batch (PDNN_SIM_BATCH, default 8). `progress` (optional)
 /// is called as vectors complete with (done, total), serialized under a
 /// mutex.
+///
+/// When `store` is non-null each vector is first looked up by its
+/// dataset_cache_key(); verified hits replay the persisted sample —
+/// including the originally measured sim_seconds, so warm totals stay
+/// meaningful — and only misses are simulated (then written back). Because
+/// the key deliberately excludes every scheduling knob, a warm run is
+/// byte-identical to the cold run that populated the store at any
+/// --threads/--sim-batch combination (DESIGN.md §11).
 RawDataset simulate_dataset(
     const pdn::PowerGrid& grid, const sim::TransientSimulator& simulator,
     vectors::TestVectorGenerator& generator, int num_vectors,
-    const std::function<void(int, int)>& progress = {}, int sim_batch = 0);
+    const std::function<void(int, int)>& progress = {}, int sim_batch = 0,
+    store::Store* store = nullptr);
+
+/// Canonical content key for one golden-simulated vector: an FNV-1a digest
+/// of the calibrated design spec, the simulator configuration, the
+/// test-vector stream identity (generator params + seed), and the vector's
+/// index in that stream — every input that determines the sample's bytes,
+/// and nothing that doesn't. Scheduling knobs (--threads, --sim-batch) are
+/// deliberately excluded: they never change results (DESIGN.md §7/§8), so a
+/// chunk written at one parallelism must hit at any other.
+std::uint64_t dataset_cache_key(const pdn::DesignSpec& spec,
+                                const sim::TransientOptions& sim_options,
+                                const vectors::VectorGenParams& gen_params,
+                                std::uint64_t generator_seed,
+                                int vector_index);
+
+/// Serialize one RawSample as a store-chunk payload (exact float bytes, so
+/// a decoded sample memcmp-equals the encoded one).
+std::string encode_raw_sample(const RawSample& sample);
+
+/// Inverse of encode_raw_sample. Returns false (leaving `sample` in an
+/// unspecified state) if the payload does not parse — the caller treats
+/// that as a cache miss, never an error.
+bool decode_raw_sample(const std::string& payload, RawSample* sample);
 
 /// How the train set is chosen from the sample pool.
 enum class SplitStrategy {

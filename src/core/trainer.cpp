@@ -1,14 +1,134 @@
 #include "core/trainer.hpp"
 
 #include <numeric>
+#include <sstream>
 
 #include "nn/conv.hpp"
-#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
 #include "obs/obs.hpp"
+#include "store/container.hpp"
 #include "util/check.hpp"
-#include "util/rng.hpp"
+#include "util/hash.hpp"
+#include "util/io.hpp"
 
 namespace pdnn::core {
+
+namespace {
+
+constexpr char kCheckpointMagic[5] = "PDNT";
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+}  // namespace
+
+void save_train_checkpoint(const std::string& path, WorstCaseNoiseNet& model,
+                           nn::Adam& optimizer, const TrainCheckpoint& state) {
+  std::ostringstream body;
+  store::write_field(body, static_cast<std::int32_t>(state.next_epoch));
+  store::write_field(body, state.lr);
+  store::write_field(body, state.rng.state);
+  store::write_field(
+      body, static_cast<std::uint8_t>(state.rng.have_cached_normal ? 1 : 0));
+  store::write_field(body, state.rng.cached_normal);
+  store::write_field(body, static_cast<std::uint32_t>(state.order.size()));
+  for (int idx : state.order) {
+    store::write_field(body, static_cast<std::int32_t>(idx));
+  }
+  PDN_CHECK(state.train_loss.size() == state.val_loss.size(),
+            "save_train_checkpoint: loss history length mismatch");
+  store::write_field(body,
+                     static_cast<std::uint32_t>(state.train_loss.size()));
+  for (std::size_t i = 0; i < state.train_loss.size(); ++i) {
+    store::write_field(body, state.train_loss[i]);
+    store::write_field(body, state.val_loss[i]);
+  }
+  nn::save_parameters(model.parameters(), body, path);
+  store::write_field(body,
+                     static_cast<std::int32_t>(optimizer.steps_taken()));
+  const std::vector<nn::Tensor*> moments = optimizer.state_tensors();
+  store::write_field(body, static_cast<std::uint32_t>(moments.size()));
+  for (const nn::Tensor* t : moments) {
+    store::write_field(body, static_cast<std::uint64_t>(t->numel()));
+    body.write(reinterpret_cast<const char*>(t->data()),
+               static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+
+  const std::string payload = std::move(body).str();
+  std::ostringstream file;
+  store::write_magic(file, kCheckpointMagic);
+  store::write_field(file, kCheckpointVersion);
+  store::write_field(file, util::fnv1a64(payload.data(), payload.size()));
+  file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  util::write_file_atomic(path, std::move(file).str());
+}
+
+bool load_train_checkpoint(const std::string& path, WorstCaseNoiseNet& model,
+                           nn::Adam& optimizer, TrainCheckpoint* state) {
+  PDN_CHECK(state != nullptr, "load_train_checkpoint: null output");
+  std::string contents;
+  if (!util::read_file(path, &contents)) return false;  // no checkpoint yet
+  try {
+    std::istringstream in(contents);
+    store::check_magic(in, kCheckpointMagic, path);
+    store::check_version(in, kCheckpointVersion, path);
+    const auto stored = store::read_field<std::uint64_t>(in, path, "checksum");
+    const auto body_off = static_cast<std::size_t>(in.tellg());
+    const std::uint64_t actual = util::fnv1a64(
+        contents.data() + body_off, contents.size() - body_off);
+    PDN_CHECK(stored == actual,
+              "checksum mismatch in " + path + " (field 'payload')");
+
+    TrainCheckpoint ck;
+    ck.next_epoch = store::read_field<std::int32_t>(in, path, "next_epoch");
+    ck.lr = store::read_field<float>(in, path, "lr");
+    ck.rng.state = store::read_field<std::uint64_t>(in, path, "rng_state");
+    ck.rng.have_cached_normal =
+        store::read_field<std::uint8_t>(in, path, "rng_cached_flag") != 0;
+    ck.rng.cached_normal =
+        store::read_field<double>(in, path, "rng_cached_normal");
+    const auto order_n =
+        store::read_field<std::uint32_t>(in, path, "order_count");
+    ck.order.reserve(order_n);
+    for (std::uint32_t i = 0; i < order_n; ++i) {
+      ck.order.push_back(store::read_field<std::int32_t>(in, path, "order"));
+    }
+    const auto loss_n =
+        store::read_field<std::uint32_t>(in, path, "loss_count");
+    ck.train_loss.reserve(loss_n);
+    ck.val_loss.reserve(loss_n);
+    for (std::uint32_t i = 0; i < loss_n; ++i) {
+      ck.train_loss.push_back(
+          store::read_field<double>(in, path, "train_loss"));
+      ck.val_loss.push_back(store::read_field<double>(in, path, "val_loss"));
+    }
+    // Name/shape verification inside load_parameters rejects a checkpoint
+    // from a different architecture with a named CheckError.
+    nn::load_parameters(model.parameters(), in, path);
+    optimizer.set_steps_taken(
+        store::read_field<std::int32_t>(in, path, "adam_t"));
+    const auto moment_n =
+        store::read_field<std::uint32_t>(in, path, "moment_count");
+    const std::vector<nn::Tensor*> moments = optimizer.state_tensors();
+    PDN_CHECK(moment_n == moments.size(),
+              "moment tensor count mismatch in " + path +
+                  " (field 'moment_count')");
+    for (nn::Tensor* t : moments) {
+      const auto numel =
+          store::read_field<std::uint64_t>(in, path, "moment_numel");
+      PDN_CHECK(numel == static_cast<std::uint64_t>(t->numel()),
+                "moment tensor size mismatch in " + path +
+                    " (field 'moment_numel')");
+      in.read(reinterpret_cast<char*>(t->data()),
+              static_cast<std::streamsize>(t->numel() * sizeof(float)));
+      PDN_CHECK(in.good(),
+                "truncated file " + path + " reading field 'moment_data'");
+    }
+    *state = std::move(ck);
+    return true;
+  } catch (const util::CheckError& e) {
+    obs::logf("checkpoint: ignoring %s: %s", path.c_str(), e.what());
+    return false;
+  }
+}
 
 double evaluate_loss(WorstCaseNoiseNet& model, const CompiledDataset& data,
                      const std::vector<int>& indices) {
@@ -35,8 +155,34 @@ TrainReport train_model(WorstCaseNoiseNet& model, const CompiledDataset& data,
   std::vector<int> order = data.split.train;
 
   TrainReport report;
+  int start_epoch = 0;
+  const bool checkpointing =
+      !options.checkpoint_path.empty() && options.checkpoint_every > 0;
+  if (options.resume) {
+    PDN_CHECK(!options.checkpoint_path.empty(),
+              "train_model: --resume needs a checkpoint path");
+    TrainCheckpoint ck;
+    if (load_train_checkpoint(options.checkpoint_path, model, optimizer,
+                              &ck)) {
+      // `order` is shuffled in place each epoch, so the restored vector —
+      // not a fresh copy of the split — carries the cumulative permutation
+      // the uninterrupted run would have at this epoch.
+      PDN_CHECK(ck.order.size() == data.split.train.size(),
+                "train_model: checkpoint split size mismatch");
+      start_epoch = ck.next_epoch;
+      optimizer.set_learning_rate(ck.lr);
+      rng.set_state(ck.rng);
+      order = std::move(ck.order);
+      report.train_loss = std::move(ck.train_loss);
+      report.val_loss = std::move(ck.val_loss);
+      if (options.verbose) {
+        obs::logf("  resuming from %s at epoch %d",
+                  options.checkpoint_path.c_str(), start_epoch + 1);
+      }
+    }
+  }
   const nn::Var distance(data.distance);
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     obs::TraceSpan epoch_span("train.epoch", "epoch", epoch + 1);
     obs::counter_add(obs::Counter::kTrainEpochs, 1);
     obs::counter_add(obs::Counter::kTrainSamples,
@@ -62,6 +208,19 @@ TrainReport train_model(WorstCaseNoiseNet& model, const CompiledDataset& data,
       obs::logf("  epoch %2d/%d  train %.4f  val %.4f", epoch + 1,
                 options.epochs, report.train_loss.back(),
                 report.val_loss.back());
+    }
+    // The final epoch always checkpoints so a longer --resume run can pick
+    // up exactly where this one stopped.
+    if (checkpointing && ((epoch + 1) % options.checkpoint_every == 0 ||
+                          epoch + 1 == options.epochs)) {
+      TrainCheckpoint ck;
+      ck.next_epoch = epoch + 1;
+      ck.lr = optimizer.learning_rate();
+      ck.rng = rng.state();
+      ck.order = order;
+      ck.train_loss = report.train_loss;
+      ck.val_loss = report.val_loss;
+      save_train_checkpoint(options.checkpoint_path, model, optimizer, ck);
     }
   }
   report.seconds = timer.lap("train");

@@ -1,12 +1,16 @@
 // Model training (paper §3.4.4): Adam at learning rate 1e-4 and the L1 loss
-// of Eq. (3), summed over the m x n tile array.
+// of Eq. (3), summed over the m x n tile array, plus resumable "PDNT"
+// training checkpoints (DESIGN.md §11).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/dataset.hpp"
 #include "core/model.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
 
 namespace pdnn::core {
 
@@ -16,6 +20,14 @@ struct TrainOptions {
   float lr_decay = 1.0f;      ///< per-epoch multiplicative decay (1 = constant)
   bool verbose = false;       ///< print per-epoch losses
   std::uint64_t shuffle_seed = 11;
+  /// When non-empty and checkpoint_every > 0, a "PDNT" checkpoint is written
+  /// here after every checkpoint_every-th epoch and after the final epoch.
+  std::string checkpoint_path;
+  int checkpoint_every = 0;
+  /// Restore checkpoint_path before training (if it exists and verifies) and
+  /// continue from its epoch. A resumed run reaches bit-identical final
+  /// weights to one that never stopped (tests/test_core_trainer.cpp).
+  bool resume = false;
 };
 
 struct TrainReport {
@@ -27,6 +39,30 @@ struct TrainReport {
 /// Train in place; returns per-epoch losses.
 TrainReport train_model(WorstCaseNoiseNet& model, const CompiledDataset& data,
                         const TrainOptions& options);
+
+/// Everything train_model mutates between epochs besides the weights and
+/// optimizer moments: where to pick up, the decayed learning rate, the
+/// shuffle stream, the cumulatively-shuffled epoch order, and the loss
+/// history (so a resumed TrainReport covers all epochs, not just its own).
+struct TrainCheckpoint {
+  int next_epoch = 0;
+  float lr = 0.0f;
+  util::Rng::State rng;
+  std::vector<int> order;
+  std::vector<double> train_loss;
+  std::vector<double> val_loss;
+};
+
+/// Atomically write model weights + Adam state + `state` as one "PDNT" file.
+void save_train_checkpoint(const std::string& path, WorstCaseNoiseNet& model,
+                           nn::Adam& optimizer, const TrainCheckpoint& state);
+
+/// Restore a "PDNT" file into an existing model/optimizer. Returns false —
+/// logging the named reason, never throwing — when the file is missing,
+/// truncated, fails its checksum, or doesn't match the model architecture;
+/// the caller then trains from scratch.
+bool load_train_checkpoint(const std::string& path, WorstCaseNoiseNet& model,
+                           nn::Adam& optimizer, TrainCheckpoint* state);
 
 /// Mean per-sample L1 loss over an index set (no gradients).
 double evaluate_loss(WorstCaseNoiseNet& model, const CompiledDataset& data,

@@ -44,6 +44,19 @@ void Adam::step() {
   }
 }
 
+void Adam::set_steps_taken(int t) {
+  PDN_CHECK(t >= 0, "Adam: negative step count");
+  t_ = t;
+}
+
+std::vector<Tensor*> Adam::state_tensors() {
+  std::vector<Tensor*> state;
+  state.reserve(2 * params_.size());
+  for (Tensor& m : m_) state.push_back(&m);
+  for (Tensor& v : v_) state.push_back(&v);
+  return state;
+}
+
 void Adam::zero_grad() {
   for (Parameter* p : params_) {
     if (p->var.node()->grad.defined()) p->var.grad().zero();

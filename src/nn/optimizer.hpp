@@ -24,6 +24,17 @@ class Adam {
   void set_learning_rate(float lr) { lr_ = lr; }
   int steps_taken() const { return t_; }
 
+  /// Restore the bias-correction step count (checkpoint resume). Must be
+  /// paired with restoring the moment tensors via state_tensors().
+  void set_steps_taken(int t);
+
+  /// Mutable views of the optimizer state in a fixed order: the first
+  /// moments m for every parameter, then the second moments v. Checkpoints
+  /// serialize these tensors byte-wise; restoring them together with
+  /// set_steps_taken() makes the next step() bit-identical to an optimizer
+  /// that never paused (locked in tests/test_nn_training.cpp).
+  std::vector<Tensor*> state_tensors();
+
  private:
   std::vector<Parameter*> params_;
   std::vector<Tensor> m_;

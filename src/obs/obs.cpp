@@ -166,6 +166,10 @@ const char* counter_name(Counter c) {
     case Counter::kServeQueueDepthMax: return "serve.queue_depth_max";
     case Counter::kServeTimeouts: return "serve.timeouts";
     case Counter::kServeOverloads: return "serve.overloads";
+    case Counter::kStoreHits: return "store.hit";
+    case Counter::kStoreMisses: return "store.miss";
+    case Counter::kStoreWrites: return "store.write";
+    case Counter::kStoreEvicts: return "store.evict";
     case Counter::kCount: break;
   }
   return "?";

@@ -59,6 +59,10 @@ enum class Counter : int {
   kServeQueueDepthMax,  ///< deepest observed request queue
   kServeTimeouts,       ///< requests rejected past their deadline
   kServeOverloads,      ///< requests rejected because the queue was full
+  kStoreHits,           ///< run-store lookups served from a verified chunk
+  kStoreMisses,         ///< run-store lookups that fell through to compute
+  kStoreWrites,         ///< chunks persisted into the run store
+  kStoreEvicts,         ///< corrupt/unreadable chunks dropped (miss, not crash)
   kCount
 };
 

@@ -1,0 +1,186 @@
+#include "store/store.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "store/container.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+#include "util/io.hpp"
+
+namespace pdnn::store {
+
+namespace {
+
+constexpr char kChunkMagic[5] = "PDNC";
+constexpr std::uint32_t kChunkVersion = 1;
+constexpr const char* kManifestHeader = "# pdnn-store v1";
+
+}  // namespace
+
+Store::Store(std::string directory) : dir_(std::move(directory)) {
+  PDN_CHECK(!dir_.empty(), "Store: empty directory");
+  util::ensure_directory(dir_);
+  load_manifest();
+}
+
+std::string Store::key_hex(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, key);
+  return buf;
+}
+
+std::string Store::chunk_path(std::uint64_t key) const {
+  return dir_ + "/" + key_hex(key) + ".pdnc";
+}
+
+std::string Store::manifest_path() const { return dir_ + "/manifest.tsv"; }
+
+void Store::load_manifest() {
+  std::ifstream in(manifest_path());
+  if (!in.good()) return;  // fresh store: no manifest yet
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::uint64_t key = 0, size = 0, checksum = 0;
+    if (std::sscanf(line.c_str(),
+                    "%" SCNx64 "\t%" SCNu64 "\t%" SCNx64, &key, &size,
+                    &checksum) == 3) {
+      manifest_[key] = Entry{size, checksum};  // later lines win (re-puts)
+    } else {
+      obs::logf("store: skipping malformed manifest line in %s: %s",
+                manifest_path().c_str(), line.c_str());
+    }
+  }
+}
+
+void Store::append_manifest_line(std::uint64_t key, const Entry& entry) {
+  const bool fresh = !util::file_exists(manifest_path());
+  std::ofstream out(manifest_path(), std::ios::app);
+  if (!out.good()) {
+    obs::logf("store: cannot append manifest %s", manifest_path().c_str());
+    return;  // chunks are self-describing; the index is best-effort
+  }
+  if (fresh) out << kManifestHeader << '\n';
+  out << key_hex(key) << '\t' << entry.size << '\t'
+      << key_hex(entry.checksum) << '\n';
+}
+
+void Store::rewrite_manifest_locked() {
+  std::ostringstream out;
+  out << kManifestHeader << '\n';
+  for (const auto& [key, entry] : manifest_) {
+    out << key_hex(key) << '\t' << entry.size << '\t'
+        << key_hex(entry.checksum) << '\n';
+  }
+  util::write_file_atomic(manifest_path(), out.str());
+}
+
+void Store::evict(std::uint64_t key, const std::string& reason) {
+  obs::logf("store: evicting chunk %s: %s", key_hex(key).c_str(),
+            reason.c_str());
+  util::remove_file(chunk_path(key));
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.evicts;
+  obs::counter_add(obs::Counter::kStoreEvicts, 1);
+  if (manifest_.erase(key) > 0) rewrite_manifest_locked();
+}
+
+bool Store::get(std::uint64_t key, std::string* payload) {
+  PDN_CHECK(payload != nullptr, "Store::get: null payload output");
+  obs::TraceSpan span("store.lookup");
+  const std::string path = chunk_path(key);
+  const bool indexed = contains(key);
+
+  std::string chunk;
+  if (!util::read_file(path, &chunk)) {
+    // Not an integrity failure unless the manifest promised the chunk.
+    if (indexed) evict(key, "chunk file missing or unreadable");
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    obs::counter_add(obs::Counter::kStoreMisses, 1);
+    return false;
+  }
+
+  // Verify the self-describing chunk; any failure degrades to a miss.
+  try {
+    const std::string where = "store chunk " + path;
+    std::istringstream in(chunk);
+    check_magic(in, kChunkMagic, where);
+    check_version(in, kChunkVersion, where);
+    const auto stored_key = read_field<std::uint64_t>(in, where, "key");
+    PDN_CHECK(stored_key == key,
+              "key mismatch in " + where + " (field 'key')");
+    const auto size = read_field<std::uint64_t>(in, where, "payload_size");
+    const auto checksum =
+        read_field<std::uint64_t>(in, where, "payload_fnv1a");
+    const auto offset = static_cast<std::size_t>(in.tellg());
+    PDN_CHECK(chunk.size() - offset == size,
+              "truncated file " + where + " reading field 'payload'");
+    PDN_CHECK(util::fnv1a64(chunk.data() + offset, size) == checksum,
+              "checksum mismatch in " + where + " (field 'payload_fnv1a')");
+    payload->assign(chunk, offset, size);
+  } catch (const util::CheckError& e) {
+    evict(key, e.what());
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    obs::counter_add(obs::Counter::kStoreMisses, 1);
+    return false;
+  }
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.hits;
+  obs::counter_add(obs::Counter::kStoreHits, 1);
+  if (!indexed) {
+    // Chunk present but unindexed (lost manifest): self-heal the index.
+    const Entry entry{payload->size(),
+                      util::fnv1a64(payload->data(), payload->size())};
+    manifest_[key] = entry;
+    append_manifest_line(key, entry);
+  }
+  return true;
+}
+
+void Store::put(std::uint64_t key, const std::string& payload) {
+  obs::TraceSpan span("store.write");
+  std::ostringstream chunk;
+  write_magic(chunk, kChunkMagic);
+  write_field(chunk, kChunkVersion);
+  write_field(chunk, key);
+  write_field(chunk, static_cast<std::uint64_t>(payload.size()));
+  const std::uint64_t checksum =
+      util::fnv1a64(payload.data(), payload.size());
+  write_field(chunk, checksum);
+  chunk.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+
+  // The file write happens under the lock so two threads putting the same
+  // key never race on the shared temp file; distinct-key writes are the
+  // common case and simulation dominates them by orders of magnitude.
+  const std::lock_guard<std::mutex> lock(mu_);
+  util::write_file_atomic(chunk_path(key), chunk.str());
+  manifest_[key] = Entry{payload.size(), checksum};
+  append_manifest_line(key, manifest_[key]);
+  ++stats_.writes;
+  obs::counter_add(obs::Counter::kStoreWrites, 1);
+}
+
+bool Store::contains(std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return manifest_.count(key) > 0;
+}
+
+std::size_t Store::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return manifest_.size();
+}
+
+StoreStats Store::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pdnn::store

@@ -1,0 +1,103 @@
+// Persistent content-addressed run store (DESIGN.md §11).
+//
+// A Store is a directory of single-file "PDNC" chunks keyed by a 64-bit
+// content digest, plus a line-oriented manifest used as a fast existence
+// index. It persists the most expensive computations in the stack — golden
+// transient simulations — so that re-runs with an identical (design,
+// simulator, vector stream) configuration replay results instead of paying
+// for them again. Clients choose the key; the store never interprets it.
+//
+// Chunk layout (little-endian, fixed field order):
+//
+//   magic  "PDNC"                 4 bytes
+//   u32    version (= 1)
+//   u64    key        (must match the digest the chunk is addressed by)
+//   u64    payload_size
+//   u64    payload_fnv1a          (util::fnv1a64 of the payload bytes)
+//   payload
+//
+// Robustness contract: a truncated, tampered, mis-keyed, or wrong-version
+// chunk is *never* an error and *never* wrong data — get() logs a named
+// reason, drops the chunk (store.evict), and reports a miss so the caller
+// recomputes. Writes go through a temp file + rename, so a crash mid-put
+// leaves either no chunk or a complete one.
+//
+// Concurrency: all methods are safe to call from multiple threads. The
+// manifest map and stats sit behind a mutex; chunk file reads run outside
+// it (distinct files), so a warm store serves parallel dataset generation
+// without serializing the I/O.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace pdnn::store {
+
+/// Lifetime operation counts for one Store instance (process-local, always
+/// collected; the obs counters mirror these when instrumentation is on).
+struct StoreStats {
+  std::int64_t hits = 0;    ///< verified chunk lookups
+  std::int64_t misses = 0;  ///< lookups that found no usable chunk
+  std::int64_t writes = 0;  ///< chunks persisted
+  std::int64_t evicts = 0;  ///< corrupt/unreadable chunks dropped
+};
+
+class Store {
+ public:
+  /// Open (creating if needed) the store rooted at `directory`. Reads the
+  /// manifest; malformed manifest lines are skipped with a logged reason
+  /// (the self-describing chunks remain reachable regardless).
+  explicit Store(std::string directory);
+
+  /// Look up `key`. On a verified hit the payload is copied into `*payload`
+  /// and true is returned. Any integrity failure (missing file, truncation,
+  /// bad magic/version, key or checksum mismatch) evicts the chunk and
+  /// returns false.
+  bool get(std::uint64_t key, std::string* payload);
+
+  /// Persist `payload` under `key` (overwrites an existing chunk) and
+  /// append it to the manifest.
+  void put(std::uint64_t key, const std::string& payload);
+
+  /// Manifest-only membership test (no chunk I/O, no verification).
+  bool contains(std::uint64_t key) const;
+
+  /// Entries currently indexed by the manifest.
+  std::size_t size() const;
+
+  StoreStats stats() const;
+
+  const std::string& directory() const { return dir_; }
+
+  /// Path of the chunk file that stores `key`.
+  std::string chunk_path(std::uint64_t key) const;
+
+  /// Path of the manifest file.
+  std::string manifest_path() const;
+
+  /// 16-digit lowercase hex spelling of a key (chunk file stem).
+  static std::string key_hex(std::uint64_t key);
+
+ private:
+  struct Entry {
+    std::uint64_t size = 0;
+    std::uint64_t checksum = 0;
+  };
+
+  void load_manifest();
+  void append_manifest_line(std::uint64_t key, const Entry& entry);
+  void rewrite_manifest_locked();
+
+  /// Drop a chunk that failed verification: named log line, store.evict,
+  /// manifest removal, best-effort file deletion.
+  void evict(std::uint64_t key, const std::string& reason);
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Entry> manifest_;
+  StoreStats stats_;
+};
+
+}  // namespace pdnn::store

@@ -1,0 +1,19 @@
+#include "util/hash.hpp"
+
+namespace pdnn::util {
+
+std::uint64_t fnv1a64(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<std::uint64_t>(bytes[i]);
+    hash *= kFnv1a64Prime;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a64(std::string_view text, std::uint64_t seed) {
+  return fnv1a64(text.data(), text.size(), seed);
+}
+
+}  // namespace pdnn::util

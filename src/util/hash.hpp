@@ -1,0 +1,62 @@
+// Content hashing for the persistent run store and artifact integrity.
+//
+// FNV-1a (64-bit) is the repository's canonical content digest: trivially
+// portable, dependency-free, and byte-order-stable on the little-endian
+// targets we build for. It keys golden-simulation cache chunks
+// (store::Store) and guards container payloads against corruption. Known
+// answer vectors are locked in tests/test_util.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+namespace pdnn::util {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ull;
+
+/// FNV-1a 64-bit digest of a byte range. `seed` chains digests: passing a
+/// previous digest continues the stream as if the ranges were concatenated.
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed = kFnv1a64Offset);
+
+/// FNV-1a 64-bit digest of a string's bytes.
+std::uint64_t fnv1a64(std::string_view text,
+                      std::uint64_t seed = kFnv1a64Offset);
+
+/// Streaming FNV-1a hasher for canonical multi-field digests (cache keys).
+///
+/// Fields are folded in call order, so a digest is only stable for a fixed
+/// field sequence — callers define a canonical order and stick to it.
+/// Variable-length fields are length-prefixed so ("ab", "c") never collides
+/// with ("a", "bc").
+class Fnv1a64 {
+ public:
+  Fnv1a64& add_bytes(const void* data, std::size_t size) {
+    hash_ = fnv1a64(data, size, hash_);
+    return *this;
+  }
+
+  /// Fold one arithmetic or enum field byte-wise.
+  template <typename T>
+  Fnv1a64& add(const T& value) {
+    static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>,
+                  "Fnv1a64::add takes arithmetic/enum fields; use add_bytes "
+                  "or add_string for buffers");
+    return add_bytes(&value, sizeof(T));
+  }
+
+  /// Fold a length-prefixed string field.
+  Fnv1a64& add_string(std::string_view text) {
+    add(static_cast<std::uint64_t>(text.size()));
+    return add_bytes(text.data(), text.size());
+  }
+
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnv1a64Offset;
+};
+
+}  // namespace pdnn::util

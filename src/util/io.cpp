@@ -83,4 +83,39 @@ void ensure_directory(const std::string& path) {
   PDN_CHECK(!ec, "cannot create directory: " + path);
 }
 
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+bool read_file(const std::string& path, std::string* contents) {
+  PDN_CHECK(contents != nullptr, "read_file: null output");
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return false;
+  *contents = std::move(buffer).str();
+  return true;
+}
+
+void write_file_atomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    PDN_CHECK(out.good(), "write_file_atomic: cannot open " + tmp);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    PDN_CHECK(out.good(), "write_file_atomic: write failed for " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  PDN_CHECK(!ec, "write_file_atomic: cannot rename " + tmp + " to " + path);
+}
+
+void remove_file(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
 }  // namespace pdnn::util

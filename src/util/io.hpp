@@ -25,4 +25,19 @@ std::string ascii_heatmap(const MapF& map, int max_cols = 64, float lo = 0.0f,
 /// Create a directory (and parents) if it does not exist.
 void ensure_directory(const std::string& path);
 
+/// True when `path` exists as a regular file.
+bool file_exists(const std::string& path);
+
+/// Read an entire binary file into `contents`. Returns false (leaving
+/// `contents` untouched) when the file is missing or unreadable.
+bool read_file(const std::string& path, std::string* contents);
+
+/// Write bytes to `path` atomically: the data lands in a sibling temp file
+/// first and is renamed into place, so readers never observe a half-written
+/// file (the run store relies on this for crash tolerance).
+void write_file_atomic(const std::string& path, const std::string& contents);
+
+/// Delete a file if it exists; missing files and failures are ignored.
+void remove_file(const std::string& path);
+
 }  // namespace pdnn::util

@@ -55,6 +55,22 @@ class Rng {
   /// Derive an independent child generator (for per-sample streams).
   Rng split();
 
+  /// Complete generator state, for checkpointing. Restoring a captured
+  /// state replays the stream exactly, including a cached Box-Muller pair.
+  struct State {
+    std::uint64_t state = 0;
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
+  State state() const { return {state_, have_cached_normal_, cached_normal_}; }
+
+  void set_state(const State& s) {
+    state_ = s.state;
+    have_cached_normal_ = s.have_cached_normal;
+    cached_normal_ = s.cached_normal;
+  }
+
  private:
   std::uint64_t state_;
   bool have_cached_normal_ = false;

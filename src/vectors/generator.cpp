@@ -11,7 +11,7 @@ namespace pdnn::vectors {
 TestVectorGenerator::TestVectorGenerator(const pdn::PowerGrid& grid,
                                          VectorGenParams params,
                                          std::uint64_t seed)
-    : grid_(grid), params_(params), rng_(seed) {
+    : grid_(grid), params_(params), seed_(seed), rng_(seed) {
   PDN_CHECK(params.num_steps > 1, "VectorGen: need at least 2 steps");
   PDN_CHECK(params.min_bursts >= 1 && params.max_bursts >= params.min_bursts,
             "VectorGen: bad burst counts");

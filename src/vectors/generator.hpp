@@ -47,9 +47,15 @@ class TestVectorGenerator {
 
   const VectorGenParams& params() const { return params_; }
 
+  /// The seed this generator's stream was started from. Together with the
+  /// params and a vector index it identifies a trace content-addressably
+  /// (core::dataset_cache_key).
+  std::uint64_t seed() const { return seed_; }
+
  private:
   const pdn::PowerGrid& grid_;
   VectorGenParams params_;
+  std::uint64_t seed_;
   util::Rng rng_;
 };
 

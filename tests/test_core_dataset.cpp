@@ -1,13 +1,19 @@
 // Dataset pipeline tests: golden simulation harvesting, signatures, the
-// training-set expansion split, and compilation to tensors.
+// training-set expansion split, compilation to tensors, and the persistent
+// golden-simulation cache (warm runs must be bit-identical to cold ones).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "core/dataset.hpp"
+#include "store/store.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pdnn {
 namespace {
@@ -154,6 +160,206 @@ TEST(Split, RandomStrategyExactCount) {
 TEST(Split, RejectsTooFewSamples) {
   const auto sigs = synthetic_signatures(2, 4, 6);
   EXPECT_THROW(core::expansion_split(sigs, {}), util::CheckError);
+}
+
+struct PoolGuard {
+  explicit PoolGuard(int threads) {
+    util::ThreadPool::set_global_threads(threads);
+  }
+  ~PoolGuard() { util::ThreadPool::set_global_threads(0); }
+};
+
+std::string fresh_store_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/pdnn_dataset_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+bool maps_bit_equal(const util::MapF& a, const util::MapF& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     a.storage().size() * sizeof(float)) == 0;
+}
+
+// Byte-level dataset equality — float compares would hide sign/NaN drift.
+// `compare_timings` is off when the two runs measured wall clocks
+// independently: sim_seconds is a measurement, so it is only reproducible
+// when one side replayed the other's persisted samples.
+void expect_datasets_bit_equal(const core::RawDataset& a,
+                               const core::RawDataset& b,
+                               bool compare_timings = true) {
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const core::RawSample& sa = a.samples[i];
+    const core::RawSample& sb = b.samples[i];
+    ASSERT_EQ(sa.current_maps.size(), sb.current_maps.size()) << i;
+    for (std::size_t m = 0; m < sa.current_maps.size(); ++m) {
+      EXPECT_TRUE(maps_bit_equal(sa.current_maps[m], sb.current_maps[m]))
+          << "sample " << i << " map " << m;
+    }
+    EXPECT_TRUE(maps_bit_equal(sa.truth, sb.truth)) << "sample " << i;
+    if (compare_timings) {
+      EXPECT_EQ(
+          std::memcmp(&sa.sim_seconds, &sb.sim_seconds, sizeof(double)), 0)
+          << "sample " << i;
+    }
+  }
+  if (compare_timings) {
+    EXPECT_EQ(std::memcmp(&a.total_sim_seconds, &b.total_sim_seconds,
+                          sizeof(double)),
+              0);
+  }
+  EXPECT_EQ(std::memcmp(&a.current_scale, &b.current_scale, sizeof(float)),
+            0);
+}
+
+core::RawDataset run_with_store(int vectors, int threads, int sim_batch,
+                                store::Store* store) {
+  PoolGuard guard(threads);
+  const pdn::PowerGrid grid(tiny_spec());
+  sim::TransientSimulator simulator(grid, {});
+  vectors::VectorGenParams params;
+  params.num_steps = 30;
+  vectors::TestVectorGenerator gen(grid, params, 55);
+  return core::simulate_dataset(grid, simulator, gen, vectors, {}, sim_batch,
+                                store);
+}
+
+TEST(Dataset, WarmStoreBitIdenticalAcrossThreadsAndBatch) {
+  // The tentpole identity: a cold 1-thread run populates the store; a warm
+  // 8-thread run at a different --sim-batch replays it byte for byte —
+  // including per-vector sim_seconds and their index-order total, which
+  // are wall-clock measurements and therefore only reproducible because
+  // every vector hits (satellite: deterministic total_sim_seconds).
+  store::Store cache(fresh_store_dir("warm"));
+  const core::RawDataset cold = run_with_store(7, 1, 2, &cache);
+  EXPECT_EQ(cache.stats().writes, 7);
+  EXPECT_EQ(cache.stats().misses, 7);  // every cold lookup missed
+
+  const core::RawDataset warm = run_with_store(7, 8, 5, &cache);
+  EXPECT_EQ(cache.stats().hits, 7);
+  EXPECT_EQ(cache.stats().misses, 7);  // no new misses on the warm pass
+  expect_datasets_bit_equal(cold, warm);
+}
+
+TEST(Dataset, WarmStoreMatchesStorelessRun) {
+  // Caching must be invisible: with or without a store, same bytes. The
+  // plain and cold runs measure wall clocks independently, so timings are
+  // excluded there; cold vs warm replays and must match fully.
+  store::Store cache(fresh_store_dir("invisible"));
+  const core::RawDataset plain = run_with_store(5, 2, 3, nullptr);
+  const core::RawDataset cold = run_with_store(5, 2, 3, &cache);
+  const core::RawDataset warm = run_with_store(5, 2, 3, &cache);
+  expect_datasets_bit_equal(plain, cold, /*compare_timings=*/false);
+  expect_datasets_bit_equal(cold, warm);
+}
+
+TEST(Dataset, PartiallyWarmStoreFillsOnlyMisses) {
+  // Populate the first 4 vectors, then ask for 7: the 4 replay, the 3 new
+  // ones simulate (in a non-aligned miss block) and are written back.
+  store::Store cache(fresh_store_dir("partial"));
+  run_with_store(4, 1, 2, &cache);
+  EXPECT_EQ(cache.stats().writes, 4);
+
+  const core::RawDataset mixed = run_with_store(7, 4, 2, &cache);
+  EXPECT_EQ(cache.stats().hits, 4);
+  EXPECT_EQ(cache.stats().misses, 4 + 3);  // 4 cold + 3 new vectors
+  EXPECT_EQ(cache.stats().writes, 7);
+
+  const core::RawDataset plain = run_with_store(7, 4, 2, nullptr);
+  expect_datasets_bit_equal(plain, mixed, /*compare_timings=*/false);
+
+  // Now fully warm: a replay of `mixed` including its recorded timings.
+  const core::RawDataset warm = run_with_store(7, 2, 3, &cache);
+  EXPECT_EQ(cache.stats().hits, 4 + 7);
+  expect_datasets_bit_equal(mixed, warm);
+}
+
+TEST(Dataset, CorruptChunkDegradesToRecomputedMiss) {
+  store::Store cache(fresh_store_dir("corrupt"));
+  const core::RawDataset cold = run_with_store(5, 2, 2, &cache);
+
+  // Tamper with the third vector's chunk: flip one payload byte.
+  const pdn::PowerGrid grid(tiny_spec());
+  sim::TransientSimulator simulator(grid, {});
+  vectors::VectorGenParams params;
+  params.num_steps = 30;
+  vectors::TestVectorGenerator probe(grid, params, 55);
+  const std::uint64_t key = core::dataset_cache_key(
+      grid.spec(), simulator.options(), probe.params(), probe.seed(), 2);
+  ASSERT_TRUE(cache.contains(key));
+  {
+    std::fstream f(cache.chunk_path(key),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(48);
+    const int byte = f.get();
+    f.seekp(48);
+    f.put(static_cast<char>(byte ^ 0xFF));  // guaranteed different
+  }
+
+  const core::RawDataset warm = run_with_store(5, 2, 2, &cache);
+  EXPECT_EQ(cache.stats().evicts, 1);
+  EXPECT_EQ(cache.stats().misses, 5 + 1);  // 5 cold + the evicted chunk
+  EXPECT_EQ(cache.stats().hits, 4);
+  // The recomputed vector's bytes match the cold run exactly (its timing is
+  // a fresh measurement, so timings are excluded).
+  expect_datasets_bit_equal(cold, warm, /*compare_timings=*/false);
+  ASSERT_TRUE(cache.contains(key));  // the chunk was persisted again
+}
+
+TEST(Dataset, CacheKeyTracksEveryPhysicalInput) {
+  const pdn::DesignSpec spec = tiny_spec();
+  const sim::TransientOptions sim_options;
+  vectors::VectorGenParams params;
+  params.num_steps = 30;
+
+  const std::uint64_t base =
+      core::dataset_cache_key(spec, sim_options, params, 55, 0);
+  EXPECT_EQ(core::dataset_cache_key(spec, sim_options, params, 55, 0), base);
+
+  EXPECT_NE(core::dataset_cache_key(spec, sim_options, params, 55, 1), base);
+  EXPECT_NE(core::dataset_cache_key(spec, sim_options, params, 56, 0), base);
+
+  pdn::DesignSpec other = spec;
+  other.r_via *= 1.5;
+  EXPECT_NE(core::dataset_cache_key(other, sim_options, params, 55, 0), base);
+
+  sim::TransientOptions finer = sim_options;
+  finer.dt *= 0.5;
+  EXPECT_NE(core::dataset_cache_key(spec, finer, params, 55, 0), base);
+
+  vectors::VectorGenParams longer = params;
+  longer.num_steps = 60;
+  EXPECT_NE(core::dataset_cache_key(spec, sim_options, longer, 55, 0), base);
+}
+
+TEST(Dataset, RawSampleCodecRoundTripsExactly) {
+  const core::RawDataset raw = build_raw(2);
+  const std::string payload = core::encode_raw_sample(raw.samples[1]);
+  core::RawSample decoded;
+  ASSERT_TRUE(core::decode_raw_sample(payload, &decoded));
+  ASSERT_EQ(decoded.current_maps.size(), raw.samples[1].current_maps.size());
+  for (std::size_t m = 0; m < decoded.current_maps.size(); ++m) {
+    EXPECT_TRUE(
+        maps_bit_equal(decoded.current_maps[m],
+                       raw.samples[1].current_maps[m]));
+  }
+  EXPECT_TRUE(maps_bit_equal(decoded.truth, raw.samples[1].truth));
+  EXPECT_EQ(std::memcmp(&decoded.sim_seconds, &raw.samples[1].sim_seconds,
+                        sizeof(double)),
+            0);
+}
+
+TEST(Dataset, RawSampleDecodeRejectsMalformedPayloads) {
+  const core::RawDataset raw = build_raw(1);
+  const std::string payload = core::encode_raw_sample(raw.samples[0]);
+  core::RawSample sink;
+  EXPECT_FALSE(core::decode_raw_sample("", &sink));
+  EXPECT_FALSE(core::decode_raw_sample(payload.substr(0, 10), &sink));
+  EXPECT_FALSE(
+      core::decode_raw_sample(payload.substr(0, payload.size() - 1), &sink));
+  EXPECT_FALSE(core::decode_raw_sample(payload + "x", &sink));
 }
 
 TEST(Dataset, CompileProducesNetworkReadyTensors) {

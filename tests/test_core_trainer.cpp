@@ -1,8 +1,13 @@
-// Trainer tests: loss decreases, overfitting a single sample works, and the
-// evaluation helper is consistent.
+// Trainer tests: loss decreases, overfitting a single sample works, the
+// evaluation helper is consistent, and interrupted training resumes to
+// bit-identical weights from a "PDNT" checkpoint.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "core/dataset.hpp"
 #include "core/model.hpp"
@@ -96,6 +101,131 @@ TEST(Trainer, RejectsEmptyTrainSet) {
   empty.split.train.clear();
   core::WorstCaseNoiseNet model(f.config());
   EXPECT_THROW(core::train_model(model, empty, {}), util::CheckError);
+}
+
+std::string fresh_checkpoint(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/pdnn_ckpt_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir + "/ckpt.pdnt";
+}
+
+void expect_weights_bit_equal(core::WorstCaseNoiseNet& a,
+                              core::WorstCaseNoiseNet& b) {
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const nn::Tensor& ta = pa[i]->var.value();
+    const nn::Tensor& tb = pb[i]->var.value();
+    ASSERT_EQ(ta.numel(), tb.numel()) << pa[i]->name;
+    EXPECT_EQ(std::memcmp(ta.data(), tb.data(),
+                          static_cast<std::size_t>(ta.numel()) *
+                              sizeof(float)),
+              0)
+        << pa[i]->name;
+  }
+}
+
+TEST(Trainer, ResumeReachesBitIdenticalWeights) {
+  Fixture f(8);
+  core::TrainOptions base;
+  base.epochs = 6;
+  base.lr = 1e-3f;
+  base.lr_decay = 0.9f;  // exercise the decay-compose-on-resume path
+
+  // Run A: uninterrupted.
+  core::WorstCaseNoiseNet straight(f.config());
+  const auto full = core::train_model(straight, f.data, base);
+
+  // Run B: stop after 3 epochs (checkpointing), then resume a *fresh* model
+  // to the full budget.
+  const std::string path = fresh_checkpoint("resume");
+  core::TrainOptions first = base;
+  first.epochs = 3;
+  first.checkpoint_path = path;
+  first.checkpoint_every = 2;  // epochs 2 and 3 (final always checkpoints)
+  core::WorstCaseNoiseNet interrupted(f.config());
+  core::train_model(interrupted, f.data, first);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  core::TrainOptions second = base;
+  second.checkpoint_path = path;
+  second.checkpoint_every = 2;
+  second.resume = true;
+  core::WorstCaseNoiseNet resumed(f.config());
+  const auto rest = core::train_model(resumed, f.data, second);
+
+  expect_weights_bit_equal(straight, resumed);
+  // The resumed report covers all six epochs, spliced from the checkpoint.
+  ASSERT_EQ(rest.train_loss.size(), full.train_loss.size());
+  for (std::size_t e = 0; e < full.train_loss.size(); ++e) {
+    EXPECT_EQ(rest.train_loss[e], full.train_loss[e]) << "epoch " << e;
+    EXPECT_EQ(rest.val_loss[e], full.val_loss[e]) << "epoch " << e;
+  }
+}
+
+TEST(Trainer, ResumeAtFullBudgetIsANoOpForWeights) {
+  Fixture f(6);
+  core::TrainOptions opt;
+  opt.epochs = 4;
+  opt.lr = 1e-3f;
+  opt.checkpoint_path = fresh_checkpoint("noop");
+  opt.checkpoint_every = 4;
+  core::WorstCaseNoiseNet model(f.config());
+  core::train_model(model, f.data, opt);
+
+  // Resuming with the same budget finds next_epoch == epochs: no further
+  // steps, weights restored exactly as checkpointed.
+  opt.resume = true;
+  core::WorstCaseNoiseNet reloaded(f.config());
+  const auto report = core::train_model(reloaded, f.data, opt);
+  expect_weights_bit_equal(model, reloaded);
+  EXPECT_EQ(report.train_loss.size(), 4u);
+}
+
+TEST(Trainer, CorruptCheckpointFallsBackToFreshStart) {
+  Fixture f(6);
+  const std::string path = fresh_checkpoint("corrupt");
+  core::TrainOptions opt;
+  opt.epochs = 3;
+  opt.lr = 1e-3f;
+  opt.checkpoint_path = path;
+  opt.checkpoint_every = 1;
+  core::WorstCaseNoiseNet model(f.config());
+  core::train_model(model, f.data, opt);
+
+  {
+    std::fstream fs(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(fs.good());
+    fs.seekg(20);
+    const int byte = fs.get();
+    fs.seekp(20);
+    fs.put(static_cast<char>(byte ^ 0xFF));
+  }
+
+  // The damaged file is rejected (named log, no throw) and training runs
+  // from scratch — identical to a never-checkpointed run.
+  opt.resume = true;
+  core::WorstCaseNoiseNet recovered(f.config());
+  const auto report = core::train_model(recovered, f.data, opt);
+  EXPECT_EQ(report.train_loss.size(), 3u);
+
+  core::TrainOptions plain;
+  plain.epochs = 3;
+  plain.lr = 1e-3f;
+  core::WorstCaseNoiseNet fresh(f.config());
+  core::train_model(fresh, f.data, plain);
+  expect_weights_bit_equal(recovered, fresh);
+}
+
+TEST(Trainer, LoadCheckpointRejectsMissingFile) {
+  Fixture f(4);
+  core::WorstCaseNoiseNet model(f.config());
+  nn::Adam optimizer(model.parameters());
+  core::TrainCheckpoint ck;
+  EXPECT_FALSE(core::load_train_checkpoint(
+      fresh_checkpoint("absent"), model, optimizer, &ck));
 }
 
 TEST(Pipeline, PredictionMatchesManualForward) {

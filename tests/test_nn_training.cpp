@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "nn/module.hpp"
 #include "nn/ops.hpp"
@@ -101,6 +102,92 @@ TEST(Adam, StepCountAndLearningRate) {
   EXPECT_FLOAT_EQ(opt.learning_rate(), 1e-3f);
   opt.set_learning_rate(1e-4f);
   EXPECT_FLOAT_EQ(opt.learning_rate(), 1e-4f);
+}
+
+TEST(Adam, StateTensorsExportMFirstThenV) {
+  util::Rng rng(8);
+  nn::Conv2d conv(1, 2, 3, 1, 1, nn::PadMode::kZero, rng);
+  nn::Adam opt(conv.parameters(), 1e-3f);
+  const auto params = conv.parameters();
+  const auto state = opt.state_tensors();
+  ASSERT_EQ(state.size(), 2 * params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    // m then v, each shaped like its parameter; fresh moments are zero.
+    EXPECT_EQ(state[i]->numel(), params[i]->var.value().numel());
+    EXPECT_EQ(state[i + params.size()]->numel(),
+              params[i]->var.value().numel());
+    for (std::int64_t j = 0; j < state[i]->numel(); ++j) {
+      EXPECT_EQ(state[i]->data()[j], 0.0f);
+    }
+  }
+}
+
+TEST(Adam, StateRoundTripKeepsNextStepBitIdentical) {
+  // Two optimizers over identical parameter copies, driven by identical
+  // gradients. Midway, clone A's state into B (the checkpoint path:
+  // state_tensors + set_steps_taken). Every subsequent step must match A's
+  // bit for bit — Adam's update depends on t, m, and v, so a missed piece
+  // of state shows up immediately.
+  util::Rng rng_a(9);
+  nn::Conv2d a(1, 1, 3, 1, 1, nn::PadMode::kZero, rng_a);
+  util::Rng rng_b(9);
+  nn::Conv2d b(1, 1, 3, 1, 1, nn::PadMode::kZero, rng_b);
+
+  nn::Adam opt_a(a.parameters(), 0.01f);
+  nn::Adam opt_b(b.parameters(), 0.01f);
+
+  Tensor x({1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) {
+    x.data()[i] = static_cast<float>(i % 5) * 0.25f;
+  }
+  const Tensor target = Tensor::full({1, 1, 4, 4}, 0.5f);
+
+  const auto drive = [&x, &target](nn::Conv2d& conv, nn::Adam& opt) {
+    opt.zero_grad();
+    Var loss = nn::l1_loss(conv.forward(Var(x)), target);
+    loss.backward();
+    opt.step();
+  };
+
+  for (int step = 0; step < 5; ++step) drive(a, opt_a);
+
+  // "Checkpoint" A into B: weights, moments, and the step count.
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    std::memcpy(pb[i]->var.mutable_value().data(),
+                pa[i]->var.value().data(),
+                static_cast<std::size_t>(pa[i]->var.value().numel()) *
+                    sizeof(float));
+  }
+  const auto sa = opt_a.state_tensors();
+  const auto sb = opt_b.state_tensors();
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    std::memcpy(sb[i]->data(), sa[i]->data(),
+                static_cast<std::size_t>(sa[i]->numel()) * sizeof(float));
+  }
+  opt_b.set_steps_taken(opt_a.steps_taken());
+
+  for (int step = 0; step < 5; ++step) {
+    drive(a, opt_a);
+    drive(b, opt_b);
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      ASSERT_EQ(std::memcmp(pa[i]->var.value().data(),
+                            pb[i]->var.value().data(),
+                            static_cast<std::size_t>(
+                                pa[i]->var.value().numel()) *
+                                sizeof(float)),
+                0)
+          << "step " << step << " param " << pa[i]->name;
+    }
+  }
+}
+
+TEST(Adam, RejectsNegativeStepCount) {
+  util::Rng rng(10);
+  nn::Conv2d conv(1, 1, 1, 1, 0, nn::PadMode::kZero, rng);
+  nn::Adam opt(conv.parameters());
+  EXPECT_THROW(opt.set_steps_taken(-1), util::CheckError);
 }
 
 TEST(Adam, SkipsParametersWithoutGradients) {

@@ -1,0 +1,250 @@
+// Persistent run-store tests: round trips, manifest persistence, the
+// corruption-degrades-to-miss contract, and concurrent warm reads (the
+// `Store` suite runs under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "store/store.hpp"
+#include "util/io.hpp"
+
+namespace pdnn {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/pdnn_store_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Overwrite `count` bytes at `offset` of an existing file in place.
+void stomp_bytes(const std::string& path, std::streamoff offset,
+                 const std::string& bytes) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekp(offset);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void truncate_file(const std::string& path, std::uintmax_t keep) {
+  std::filesystem::resize_file(path, keep);
+}
+
+TEST(Store, PutGetRoundTrip) {
+  store::Store s(fresh_dir("roundtrip"));
+  const std::string payload("golden sample bytes \x00\x01\x02", 23);
+  s.put(42, payload);
+  EXPECT_TRUE(s.contains(42));
+  EXPECT_EQ(s.size(), 1u);
+
+  std::string out;
+  ASSERT_TRUE(s.get(42, &out));
+  EXPECT_EQ(out, payload);
+  const store::StoreStats st = s.stats();
+  EXPECT_EQ(st.writes, 1);
+  EXPECT_EQ(st.hits, 1);
+  EXPECT_EQ(st.misses, 0);
+  EXPECT_EQ(st.evicts, 0);
+}
+
+TEST(Store, MissingKeyIsMissNotEviction) {
+  store::Store s(fresh_dir("missing"));
+  std::string out;
+  EXPECT_FALSE(s.get(7, &out));
+  const store::StoreStats st = s.stats();
+  EXPECT_EQ(st.misses, 1);
+  EXPECT_EQ(st.evicts, 0);  // nothing was promised, nothing is dropped
+}
+
+TEST(Store, RePutOverwrites) {
+  store::Store s(fresh_dir("reput"));
+  s.put(5, "old");
+  s.put(5, "new");
+  EXPECT_EQ(s.size(), 1u);
+  std::string out;
+  ASSERT_TRUE(s.get(5, &out));
+  EXPECT_EQ(out, "new");
+}
+
+TEST(Store, ReopenLoadsManifest) {
+  const std::string dir = fresh_dir("reopen");
+  {
+    store::Store s(dir);
+    s.put(1, "one");
+    s.put(2, "two");
+  }
+  store::Store reopened(dir);
+  EXPECT_EQ(reopened.size(), 2u);
+  EXPECT_TRUE(reopened.contains(1));
+  std::string out;
+  ASSERT_TRUE(reopened.get(2, &out));
+  EXPECT_EQ(out, "two");
+}
+
+TEST(Store, TruncatedChunkDegradesToMiss) {
+  store::Store s(fresh_dir("truncated"));
+  s.put(9, std::string(256, 'x'));
+  truncate_file(s.chunk_path(9), 40);  // cut into the payload
+
+  std::string out;
+  EXPECT_FALSE(s.get(9, &out));
+  const store::StoreStats st = s.stats();
+  EXPECT_EQ(st.misses, 1);
+  EXPECT_EQ(st.evicts, 1);
+  // The corrupt chunk is gone and the key is recomputable: a re-put then
+  // hits again.
+  EXPECT_FALSE(std::filesystem::exists(s.chunk_path(9)));
+  EXPECT_FALSE(s.contains(9));
+  s.put(9, "fresh");
+  ASSERT_TRUE(s.get(9, &out));
+  EXPECT_EQ(out, "fresh");
+}
+
+TEST(Store, BadChecksumDegradesToMiss) {
+  store::Store s(fresh_dir("checksum"));
+  s.put(11, std::string(64, 'p'));
+  // Chunk header is 4 (magic) + 4 (version) + 8 (key) + 8 (size) + 8
+  // (checksum) = 32 bytes; stomp a payload byte past it.
+  stomp_bytes(s.chunk_path(11), 40, "Q");
+
+  std::string out;
+  EXPECT_FALSE(s.get(11, &out));
+  EXPECT_EQ(s.stats().evicts, 1);
+}
+
+TEST(Store, VersionMismatchDegradesToMiss) {
+  store::Store s(fresh_dir("version"));
+  s.put(13, "payload");
+  stomp_bytes(s.chunk_path(13), 4, std::string("\x63\x00\x00\x00", 4));
+
+  std::string out;
+  EXPECT_FALSE(s.get(13, &out));
+  EXPECT_EQ(s.stats().evicts, 1);
+}
+
+TEST(Store, MisKeyedChunkDegradesToMiss) {
+  store::Store s(fresh_dir("miskeyed"));
+  s.put(21, "payload for 21");
+  // A chunk copied under another key's path self-identifies as foreign.
+  std::filesystem::copy_file(s.chunk_path(21), s.chunk_path(22));
+
+  std::string out;
+  EXPECT_FALSE(s.get(22, &out));
+  EXPECT_EQ(s.stats().evicts, 1);
+  // The original chunk is untouched.
+  ASSERT_TRUE(s.get(21, &out));
+  EXPECT_EQ(out, "payload for 21");
+}
+
+TEST(Store, IndexedButMissingChunkEvicts) {
+  store::Store s(fresh_dir("vanished"));
+  s.put(31, "data");
+  util::remove_file(s.chunk_path(31));
+
+  std::string out;
+  EXPECT_FALSE(s.get(31, &out));
+  const store::StoreStats st = s.stats();
+  EXPECT_EQ(st.misses, 1);
+  EXPECT_EQ(st.evicts, 1);
+  EXPECT_FALSE(s.contains(31));
+}
+
+TEST(Store, SelfHealsLostManifest) {
+  const std::string dir = fresh_dir("heal");
+  {
+    store::Store s(dir);
+    s.put(17, "survivor");
+  }
+  std::filesystem::remove(dir + "/manifest.tsv");
+
+  store::Store s(dir);
+  EXPECT_EQ(s.size(), 0u);  // index lost...
+  std::string out;
+  ASSERT_TRUE(s.get(17, &out));  // ...but the self-describing chunk hits
+  EXPECT_EQ(out, "survivor");
+  EXPECT_TRUE(s.contains(17));  // and the index is rebuilt
+  // The healed manifest survives another reopen.
+  store::Store again(dir);
+  EXPECT_TRUE(again.contains(17));
+}
+
+TEST(Store, MalformedManifestLinesAreSkipped) {
+  const std::string dir = fresh_dir("malformed");
+  {
+    store::Store s(dir);
+    s.put(3, "three");
+  }
+  {
+    std::ofstream out(dir + "/manifest.tsv", std::ios::app);
+    out << "not a manifest line\n";
+  }
+  store::Store s(dir);
+  EXPECT_EQ(s.size(), 1u);
+  std::string out;
+  EXPECT_TRUE(s.get(3, &out));
+}
+
+TEST(Store, KeyHexIsZeroPadded) {
+  EXPECT_EQ(store::Store::key_hex(0x1234), "0000000000001234");
+  EXPECT_EQ(store::Store::key_hex(0xffffffffffffffffull),
+            "ffffffffffffffff");
+  store::Store s(fresh_dir("hex"));
+  EXPECT_NE(s.chunk_path(0x1234).find("0000000000001234.pdnc"),
+            std::string::npos);
+}
+
+TEST(Store, ConcurrentWarmReads) {
+  store::Store s(fresh_dir("concurrent"));
+  constexpr int kKeys = 16;
+  for (int k = 0; k < kKeys; ++k) {
+    s.put(static_cast<std::uint64_t>(k), "payload " + std::to_string(k));
+  }
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> readers;
+  std::vector<int> ok(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&s, &ok, t] {
+      std::string out;
+      for (int k = 0; k < kKeys; ++k) {
+        if (s.get(static_cast<std::uint64_t>(k), &out) &&
+            out == "payload " + std::to_string(k)) {
+          ++ok[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (std::thread& th : readers) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(ok[t], kKeys);
+  EXPECT_EQ(s.stats().hits, kThreads * kKeys);
+}
+
+TEST(Store, ConcurrentDistinctKeyWrites) {
+  store::Store s(fresh_dir("parallel_put"));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&s, t] {
+      for (int k = 0; k < kPerThread; ++k) {
+        const auto key = static_cast<std::uint64_t>(t * kPerThread + k);
+        s.put(key, "w" + std::to_string(key));
+      }
+    });
+  }
+  for (std::thread& th : writers) th.join();
+  EXPECT_EQ(s.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::string out;
+  for (int k = 0; k < kThreads * kPerThread; ++k) {
+    ASSERT_TRUE(s.get(static_cast<std::uint64_t>(k), &out));
+    EXPECT_EQ(out, "w" + std::to_string(k));
+  }
+}
+
+}  // namespace
+}  // namespace pdnn

@@ -8,12 +8,54 @@
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/grid2d.hpp"
+#include "util/hash.hpp"
 #include "util/io.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace pdnn {
 namespace {
+
+// Known-answer vectors from the reference FNV-1a test suite
+// (Fowler/Noll/Vo): the empty string hashes to the offset basis.
+TEST(Hash, Fnv1a64KnownAnswers) {
+  EXPECT_EQ(util::fnv1a64("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(util::fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(util::fnv1a64("foobar", 6), 0x85944171f73967e8ull);
+  EXPECT_EQ(util::fnv1a64(std::string_view("foobar")),
+            0x85944171f73967e8ull);
+}
+
+TEST(Hash, StreamingMatchesOneShot) {
+  const std::string msg = "worst-case dynamic PDN noise";
+  util::Fnv1a64 h;
+  h.add_bytes(msg.data(), msg.size());
+  EXPECT_EQ(h.digest(), util::fnv1a64(msg.data(), msg.size()));
+}
+
+TEST(Hash, ChunkingInvariance) {
+  // Feeding the same bytes in different chunkings gives the same digest
+  // (digests only depend on content, never on buffering).
+  const std::string msg = "0123456789abcdef";
+  util::Fnv1a64 whole, split;
+  whole.add_bytes(msg.data(), msg.size());
+  split.add_bytes(msg.data(), 3);
+  split.add_bytes(msg.data() + 3, 13);
+  EXPECT_EQ(whole.digest(), split.digest());
+}
+
+TEST(Hash, FieldOrderAndTypeMatter) {
+  util::Fnv1a64 a, b;
+  a.add(std::int32_t{1}).add(std::int32_t{2});
+  b.add(std::int32_t{2}).add(std::int32_t{1});
+  EXPECT_NE(a.digest(), b.digest());
+
+  // Length-prefixed strings: ("ab","c") must differ from ("a","bc").
+  util::Fnv1a64 c, d;
+  c.add_string("ab").add_string("c");
+  d.add_string("a").add_string("bc");
+  EXPECT_NE(c.digest(), d.digest());
+}
 
 TEST(Check, ThrowsWithMessage) {
   try {
