@@ -58,6 +58,9 @@ void add_runtime_flags(util::ArgParser& args) {
   args.add_flag("sim-batch", "0",
                 "traces per lockstep multi-RHS transient batch "
                 "(0: PDNN_SIM_BATCH or 8; any width is bit-identical)");
+  args.add_flag("kernel", "",
+                "compute-kernel backend: scalar|avx2 (empty: PDNN_KERNEL, or "
+                "the CPUID probe; forcing an unsupported backend errors)");
   args.add_flag("store-dir", "",
                 "persistent run store: content-addressed golden-simulation "
                 "cache + training checkpoints (empty: PDNN_STORE, or off)");
@@ -75,6 +78,11 @@ RuntimeConfig apply_runtime_flags(const util::ArgParser& args) {
   rc.threads = args.get_int("threads");
   if (rc.threads > 0) util::ThreadPool::set_global_threads(rc.threads);
   rc.sim_batch = sim::resolve_sim_batch(args.get_int("sim-batch"));
+  const std::string kernel = args.get("kernel");
+  if (!kernel.empty()) {
+    linalg::force_backend(linalg::parse_backend(kernel));
+  }
+  rc.backend = linalg::active_backend();
   return rc;
 }
 
@@ -364,6 +372,8 @@ void RunMetrics::finish() {
 
   obs::JsonValue root = obs::JsonValue::object();
   root.set("bench", bench_);
+  root.set("kernel.backend",
+           std::string(linalg::backend_name(linalg::active_backend())));
   if (extra_.size() > 0) root.set("options", std::move(extra_));
   obs::JsonValue stages = obs::JsonValue::object();
   double sum = 0.0;

@@ -17,6 +17,7 @@
 #include "core/pipeline.hpp"
 #include "core/trainer.hpp"
 #include "eval/metrics.hpp"
+#include "linalg/kernels/registry.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "pdn/design.hpp"
@@ -74,6 +75,7 @@ void add_runtime_flags(util::ArgParser& args);
 struct RuntimeConfig {
   int threads = 0;    ///< pool size actually applied
   int sim_batch = 0;  ///< resolved lockstep transient batch width
+  linalg::KernelBackend backend = linalg::KernelBackend::kScalar;
 };
 
 /// Apply the parsed runtime flags: size the global thread pool and resolve

@@ -7,6 +7,7 @@
 #include "core/spatial.hpp"
 #include "core/temporal.hpp"
 #include "linalg/gemm.hpp"
+#include "linalg/kernels/registry.hpp"
 #include "nn/module.hpp"
 #include "nn/ops.hpp"
 #include "obs/obs.hpp"
@@ -148,11 +149,23 @@ void BM_GemmNnThreads(benchmark::State& state) {
   std::vector<float> c(static_cast<std::size_t>(dim) * dim, 0.0f);
   for (float& v : a) v = static_cast<float>(rng.normal());
   for (float& v : b) v = static_cast<float>(rng.normal());
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  const obs::CounterSnapshot before = obs::snapshot_counters();
   for (auto _ : state) {
     linalg::gemm_nn(dim, dim, dim, 1.0f, a.data(), dim, b.data(), dim, 0.0f,
                     c.data(), dim);
     benchmark::DoNotOptimize(c.data());
   }
+  const obs::CounterSnapshot after = obs::snapshot_counters();
+  obs::set_enabled(was_enabled);
+  state.counters["MFLOPS"] =
+      benchmark::Counter(2.0 * dim * dim * dim * 1e-6,
+                         benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["bytes_packed"] =
+      static_cast<double>(obs::counter_reading(
+          before, after, obs::Counter::kKernelPackedBytes)) /
+      static_cast<double>(state.iterations());
   state.SetItemsProcessed(state.iterations() * 2LL * dim * dim * dim);
   state.SetLabel(std::to_string(dim) + "^3, " + std::to_string(threads) +
                  " threads");
@@ -163,6 +176,122 @@ BENCHMARK(BM_GemmNnThreads)
     ->Args({2, 512})
     ->Args({4, 512})
     ->UseRealTime();
+
+// --- Kernel backend trajectory (PR: SIMD kernel registry) ------------------
+//
+// BM_GemmBackend / BM_ConvBackend force one registry backend per run (first
+// range argument: 0 = scalar, 1 = avx2) at the paper net's shapes, so
+// BENCH_kernels.json records the scalar/AVX2 throughput ratio the CI bench
+// gate watches. MFLOPS is an iteration-invariant rate; bytes_packed is the
+// per-iteration packing volume from the obs counter (0 for scalar, which
+// packs nothing).
+
+/// Force `backend`, or mark the run skipped when the host cannot run it.
+bool force_backend_or_skip(benchmark::State& state,
+                           linalg::KernelBackend backend) {
+  if (!linalg::backend_supported(backend)) {
+    state.SkipWithError((std::string(linalg::backend_name(backend)) +
+                         " backend not supported on this machine")
+                            .c_str());
+    return false;
+  }
+  linalg::force_backend(backend);
+  return true;
+}
+
+void BM_GemmBackend(benchmark::State& state) {
+  const auto backend = static_cast<linalg::KernelBackend>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  const int k = static_cast<int>(state.range(3));
+  if (!force_backend_or_skip(state, backend)) return;
+  util::Rng rng(9);
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  for (float& v : a) v = static_cast<float>(rng.normal());
+  for (float& v : b) v = static_cast<float>(rng.normal());
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  const obs::CounterSnapshot before = obs::snapshot_counters();
+  for (auto _ : state) {
+    linalg::gemm_nn(m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c.data(),
+                    n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  const obs::CounterSnapshot after = obs::snapshot_counters();
+  obs::set_enabled(was_enabled);
+  const double flops = 2.0 * m * n * static_cast<double>(k);
+  state.counters["MFLOPS"] = benchmark::Counter(
+      flops * 1e-6, benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["bytes_packed"] =
+      static_cast<double>(obs::counter_reading(
+          before, after, obs::Counter::kKernelPackedBytes)) /
+      static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(flops));
+  state.SetLabel(std::string(linalg::backend_name(backend)) + ", " +
+                 std::to_string(m) + "x" + std::to_string(n) + "x" +
+                 std::to_string(k));
+  linalg::clear_forced_backend();
+}
+BENCHMARK(BM_GemmBackend)
+    // Paper-net stride-1 conv lowered to GEMM: cout 8, 64x64 map, cin 8 x 9.
+    ->Args({0, 8, 4096, 72})
+    ->Args({1, 8, 4096, 72})
+    // Stride-2 layer: cout 16, 32x32 map.
+    ->Args({0, 16, 1024, 72})
+    ->Args({1, 16, 1024, 72})
+    // Square reference point shared with BM_GemmNnThreads.
+    ->Args({0, 512, 512, 512})
+    ->Args({1, 512, 512, 512});
+
+void BM_ConvBackend(benchmark::State& state) {
+  const auto backend = static_cast<linalg::KernelBackend>(state.range(0));
+  const int stride = static_cast<int>(state.range(1));
+  if (!force_backend_or_skip(state, backend)) return;
+  constexpr int kHw = 64;
+  const int cout = stride == 1 ? 8 : 16;  // the paper net's layer widths
+  util::Rng rng(3);
+  nn::Conv2d conv(8, cout, 3, stride, 1, nn::PadMode::kReplicate, rng);
+  nn::Tensor x({1, 8, kHw, kHw});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(rng.uniform());
+  }
+  nn::NoGradGuard guard;
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  const obs::CounterSnapshot before = obs::snapshot_counters();
+  for (auto _ : state) {
+    const nn::Var y = conv.forward(nn::Var(x));
+    benchmark::DoNotOptimize(y.value().data());
+  }
+  const obs::CounterSnapshot after = obs::snapshot_counters();
+  obs::set_enabled(was_enabled);
+  const int ohw = kHw / stride;
+  const double flops = 2.0 * ohw * ohw * cout * 8 * 9;
+  state.counters["MFLOPS"] = benchmark::Counter(
+      flops * 1e-6, benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["fused_calls"] =
+      static_cast<double>(obs::counter_reading(
+          before, after, obs::Counter::kConvFusedCalls)) /
+      static_cast<double>(state.iterations());
+  state.counters["bytes_packed"] =
+      static_cast<double>(obs::counter_reading(
+          before, after, obs::Counter::kKernelPackedBytes)) /
+      static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(flops));
+  state.SetLabel(std::string(linalg::backend_name(backend)) + ", 8->" +
+                 std::to_string(cout) + " s" + std::to_string(stride) + ", " +
+                 std::to_string(kHw) + "x" + std::to_string(kHw));
+  linalg::clear_forced_backend();
+}
+BENCHMARK(BM_ConvBackend)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 2})
+    ->Args({1, 2});
 
 void BM_Conv2dBatchThreads(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));

@@ -1,37 +1,18 @@
+// Public GEMM entry points: work accounting plus dispatch into the kernel
+// registry (linalg/kernels/registry.hpp). The kernel bodies themselves live
+// in src/linalg/kernels/ — gemm_scalar.cpp holds the historical portable
+// loops, gemm_avx2.cpp the vectorized backend — both compiled with
+// -ffp-contract=off to keep the backends bit-identical.
 #include "linalg/gemm.hpp"
 
-#include <algorithm>
 #include <cstdint>
 
+#include "linalg/kernels/registry.hpp"
 #include "obs/obs.hpp"
-#include "util/thread_pool.hpp"
 
 namespace pdnn::linalg {
 
 namespace {
-
-// Block sizes chosen so one A panel (kMB x kKB floats) plus one B panel
-// (kKB x n row-slab) stay L1/L2 resident on typical x86 cores.
-constexpr int kMB = 64;
-constexpr int kKB = 256;
-
-// Minimum multiply-add count before a kernel fans out to the thread pool;
-// below this the dispatch overhead dominates. Parallelization is over
-// disjoint row panels of C with a fixed per-row accumulation order, so the
-// threshold (and the thread count) never changes the computed bits.
-constexpr std::int64_t kParallelFlops = std::int64_t{1} << 20;
-
-void scale_rows(int m, int n, float beta, float* c, int ldc) {
-  if (beta == 1.0f) return;
-  for (int i = 0; i < m; ++i) {
-    float* row = c + static_cast<std::ptrdiff_t>(i) * ldc;
-    if (beta == 0.0f) {
-      std::fill(row, row + n, 0.0f);
-    } else {
-      for (int j = 0; j < n; ++j) row[j] *= beta;
-    }
-  }
-}
 
 /// Work accounting shared by all three kernels: one call, 2*m*n*k flops.
 inline void note_gemm(int m, int n, int k) {
@@ -41,98 +22,24 @@ inline void note_gemm(int m, int n, int k) {
                        static_cast<std::int64_t>(k));
 }
 
-/// Run body(panel) over ceil(m / kMB) row panels, on the pool when the
-/// problem is big enough and serially otherwise. Each panel owns rows
-/// [panel*kMB, min(m, panel*kMB + kMB)) of C exclusively.
-template <typename Body>
-void for_each_row_panel(int m, int n, int k, const Body& body) {
-  const std::int64_t panels = (m + kMB - 1) / kMB;
-  const std::int64_t flops =
-      static_cast<std::int64_t>(m) * n * static_cast<std::int64_t>(k);
-  if (panels > 1 && flops >= kParallelFlops) {
-    util::ThreadPool::global().run(
-        panels, [&](std::int64_t panel) { body(static_cast<int>(panel)); });
-  } else {
-    for (std::int64_t panel = 0; panel < panels; ++panel) {
-      body(static_cast<int>(panel));
-    }
-  }
-}
-
 }  // namespace
 
 void gemm_nn(int m, int n, int k, float alpha, const float* a, int lda,
              const float* b, int ldb, float beta, float* c, int ldc) {
   note_gemm(m, n, k);
-  for_each_row_panel(m, n, k, [&](int panel) {
-    const int i0 = panel * kMB;
-    const int i1 = std::min(m, i0 + kMB);
-    scale_rows(i1 - i0, n, beta, c + static_cast<std::ptrdiff_t>(i0) * ldc,
-               ldc);
-    for (int p0 = 0; p0 < k; p0 += kKB) {
-      const int p1 = std::min(k, p0 + kKB);
-      for (int i = i0; i < i1; ++i) {
-        float* crow = c + static_cast<std::ptrdiff_t>(i) * ldc;
-        const float* arow = a + static_cast<std::ptrdiff_t>(i) * lda;
-        for (int p = p0; p < p1; ++p) {
-          // No zero-skip: 0 * NaN/Inf must contribute NaN exactly as BLAS
-          // semantics (and the naive reference) prescribe.
-          const float aip = alpha * arow[p];
-          const float* brow = b + static_cast<std::ptrdiff_t>(p) * ldb;
-          // Inner loop over j: contiguous on both B and C, auto-vectorizes.
-          for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
-        }
-      }
-    }
-  });
+  kernels().gemm_nn(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
 void gemm_nt(int m, int n, int k, float alpha, const float* a, int lda,
              const float* b, int ldb, float beta, float* c, int ldc) {
   note_gemm(m, n, k);
-  for_each_row_panel(m, n, k, [&](int panel) {
-    const int i0 = panel * kMB;
-    const int i1 = std::min(m, i0 + kMB);
-    scale_rows(i1 - i0, n, beta, c + static_cast<std::ptrdiff_t>(i0) * ldc,
-               ldc);
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b + static_cast<std::ptrdiff_t>(j) * ldb;
-      for (int i = i0; i < i1; ++i) {
-        const float* arow = a + static_cast<std::ptrdiff_t>(i) * lda;
-        // Dot product along k: contiguous on both operands.
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        c[static_cast<std::ptrdiff_t>(i) * ldc + j] += alpha * acc;
-      }
-    }
-  });
+  kernels().gemm_nt(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
 void gemm_tn(int m, int n, int k, float alpha, const float* a, int lda,
              const float* b, int ldb, float beta, float* c, int ldc) {
   note_gemm(m, n, k);
-  // Row panels of C instead of the historical k-outer loop so panels are
-  // disjoint across threads; each C row still accumulates its k terms in
-  // ascending p order, exactly as before.
-  for_each_row_panel(m, n, k, [&](int panel) {
-    const int i0 = panel * kMB;
-    const int i1 = std::min(m, i0 + kMB);
-    scale_rows(i1 - i0, n, beta, c + static_cast<std::ptrdiff_t>(i0) * ldc,
-               ldc);
-    for (int p0 = 0; p0 < k; p0 += kKB) {
-      const int p1 = std::min(k, p0 + kKB);
-      for (int p = p0; p < p1; ++p) {
-        const float* arow = a + static_cast<std::ptrdiff_t>(p) * lda;  // A[p,:]
-        const float* brow = b + static_cast<std::ptrdiff_t>(p) * ldb;  // B[p,:]
-        for (int i = i0; i < i1; ++i) {
-          // No zero-skip — see gemm_nn: skipping drops 0 * NaN/Inf terms.
-          const float api = alpha * arow[i];
-          float* crow = c + static_cast<std::ptrdiff_t>(i) * ldc;
-          for (int j = 0; j < n; ++j) crow[j] += api * brow[j];
-        }
-      }
-    }
-  });
+  kernels().gemm_tn(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
 void axpy(int n, float alpha, const float* x, float* y) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "linalg/gemm.hpp"
+#include "linalg/kernels/registry.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -179,19 +180,42 @@ Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad,
 
   // Samples write disjoint output slices, so the batch fans out across the
   // pool; each worker lowers into its own thread_local scratch. Single-sample
-  // batches fall through to the pool inside the gemm instead.
+  // batches fall through to the pool inside the gemm instead. The paper net's
+  // 3x3 / pad-1 layers qualify for the registry's fused path, which computes
+  // the identical bits to im2col + gemm_nn without materializing the columns;
+  // conv3x3_fused() returns false (and we lower classically) when the active
+  // backend has no fused kernel.
+  const bool fusable = kh == 3 && kw == 3 && pad == 1;
   obs::TraceSpan fwd_span("conv2d.forward", "batch", n);
   util::parallel_for(n, 1, [&](std::int64_t b0, std::int64_t b1) {
-    std::vector<float>& col = scratch_a();
-    col.resize(static_cast<std::size_t>(ckk) * owo);
-    note_im2col_bytes(col);
     for (std::int64_t bidx = b0; bidx < b1; ++bidx) {
       const float* src = xv.data() + bidx * cin * h * wd;
       float* dst = out.data() + bidx * cout * owo;
-      im2col(src, cin, h, wd, kh, kw, stride, pad, mode, ho, wo, col.data());
-      linalg::gemm_nn(cout, static_cast<int>(owo), ckk, 1.0f, wv.data(), ckk,
-                      col.data(), static_cast<int>(owo), 0.0f, dst,
-                      static_cast<int>(owo));
+      bool fused = false;
+      if (fusable) {
+        linalg::Conv3x3Args fargs;
+        fargs.src = src;
+        fargs.weights = wv.data();
+        fargs.dst = dst;
+        fargs.cin = cin;
+        fargs.h = h;
+        fargs.w = wd;
+        fargs.cout = cout;
+        fargs.ho = ho;
+        fargs.wo = wo;
+        fargs.stride = stride;
+        fargs.replicate = mode == PadMode::kReplicate;
+        fused = linalg::conv3x3_fused(fargs);
+      }
+      if (!fused) {
+        std::vector<float>& col = scratch_a();
+        col.resize(static_cast<std::size_t>(ckk) * owo);
+        note_im2col_bytes(col);
+        im2col(src, cin, h, wd, kh, kw, stride, pad, mode, ho, wo, col.data());
+        linalg::gemm_nn(cout, static_cast<int>(owo), ckk, 1.0f, wv.data(), ckk,
+                        col.data(), static_cast<int>(owo), 0.0f, dst,
+                        static_cast<int>(owo));
+      }
       for (int co = 0; co < cout; ++co) {
         const float bias = bv.data()[co];
         float* row = dst + static_cast<std::int64_t>(co) * owo;

@@ -154,7 +154,10 @@ const char* counter_name(Counter c) {
     case Counter::kCholBatchWidthMax: return "cholesky.batch_width_max";
     case Counter::kGemmCalls: return "gemm.calls";
     case Counter::kGemmFlops: return "gemm.flops";
+    case Counter::kGemmAvx2Calls: return "gemm.avx2";
+    case Counter::kKernelPackedBytes: return "kernel.packed_bytes";
     case Counter::kConvIm2colBytesMax: return "conv.im2col_bytes_max";
+    case Counter::kConvFusedCalls: return "conv.fused";
     case Counter::kSimTraces: return "sim.traces";
     case Counter::kSimSteps: return "sim.steps";
     case Counter::kSimBatchWidthMax: return "sim.batch_width_max";

@@ -47,7 +47,10 @@ enum class Counter : int {
   kCholBatchWidthMax,   ///< widest multi-RHS block
   kGemmCalls,           ///< gemm_{nn,nt,tn} calls
   kGemmFlops,           ///< 2*m*n*k multiply-add FLOPs summed
+  kGemmAvx2Calls,       ///< gemm calls dispatched to the AVX2 backend
+  kKernelPackedBytes,   ///< bytes staged into packed B panels / conv planes
   kConvIm2colBytesMax,  ///< largest per-thread im2col scratch buffer
+  kConvFusedCalls,      ///< conv samples computed by the fused 3x3 path
   kSimTraces,           ///< transient traces solved
   kSimSteps,            ///< backward-Euler steps across all traces
   kSimBatchWidthMax,    ///< widest lockstep transient batch
