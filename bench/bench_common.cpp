@@ -49,6 +49,13 @@ void add_metrics_flags(util::ArgParser& args) {
                 "write a Chrome trace-event JSON (Perfetto-loadable) here");
   args.add_flag("metrics-json", "",
                 "write the structured run-metrics report (JSON) here");
+  args.add_flag("metrics-out", "",
+                "telemetry directory: periodic metrics.jsonl time series, "
+                "metrics.prom Prometheus exposition, flight.json post-mortem "
+                "(empty: PDNN_METRICS_OUT, or off)");
+  args.add_flag("metrics-interval-ms", "250",
+                "metrics snapshot period in milliseconds (needs "
+                "--metrics-out)");
 }
 
 void add_runtime_flags(util::ArgParser& args) {
@@ -321,13 +328,33 @@ obs::JsonValue experiment_json(const DesignExperiment& ex) {
 RunMetrics::RunMetrics(std::string bench_name, const util::ArgParser& args)
     : bench_(std::move(bench_name)),
       trace_path_(args.get("trace")),
-      metrics_path_(args.get("metrics-json")) {
-  // Either output implies collection. With only --metrics-json the span ring
+      metrics_path_(args.get("metrics-json")),
+      metrics_out_(args.get("metrics-out")) {
+  if (metrics_out_.empty()) {
+    if (const char* env = std::getenv("PDNN_METRICS_OUT")) metrics_out_ = env;
+  }
+  // Any output implies collection. With only --metrics-json the span ring
   // buffers still fill (bounded memory) but are never serialized.
   if (enabled()) obs::set_enabled(true);
+  if (!trace_path_.empty()) {
+    // Route through set_trace_path so the shutdown hooks flush the trace
+    // even when the driver dies on an uncaught CheckError before finish().
+    obs::set_trace_path(trace_path_);
+  }
+  if (!metrics_out_.empty()) {
+    obs::SnapshotterOptions snap;
+    snap.dir = metrics_out_;
+    snap.interval_seconds = args.get_double("metrics-interval-ms") * 1e-3;
+    snapshotter_ = std::make_unique<obs::MetricsSnapshotter>(snap);
+    obs::flight().set_dump_path(metrics_out_ + "/flight.json");
+  }
   start_ = obs::snapshot_counters();
   extra_ = obs::JsonValue::object();
   designs_ = obs::JsonValue::array();
+}
+
+RunMetrics::~RunMetrics() {
+  if (snapshotter_) snapshotter_->stop();
 }
 
 double RunMetrics::lap(const std::string& name) {
@@ -368,6 +395,8 @@ void RunMetrics::stage_add(const std::string& name, double seconds) {
 void RunMetrics::finish() {
   if (finished_ || !enabled()) return;
   finished_ = true;
+  if (snapshotter_) snapshotter_->stop();  // final sample before the report
+  if (!metrics_out_.empty()) obs::flight().dump();
   const double total = total_.seconds();
 
   obs::JsonValue root = obs::JsonValue::object();

@@ -20,6 +20,7 @@
 #include "linalg/kernels/registry.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 #include "pdn/design.hpp"
 #include "pdn/power_grid.hpp"
 #include "serve/server.hpp"
@@ -60,9 +61,10 @@ ExperimentOptions options_for_scale(pdn::Scale scale);
 /// flags below).
 void add_common_flags(util::ArgParser& args);
 
-/// Register only the observability flags (--trace, --metrics-json); for
-/// drivers that don't take the full experiment flag set. add_common_flags
-/// and add_runtime_flags already include these.
+/// Register only the observability flags (--trace, --metrics-json,
+/// --metrics-out, --metrics-interval-ms); for drivers that don't take the
+/// full experiment flag set. add_common_flags and add_runtime_flags already
+/// include these.
 void add_metrics_flags(util::ArgParser& args);
 
 /// The execution flags every driver shares — --threads, --sim-batch, and the
@@ -158,17 +160,23 @@ vectors::VectorGenParams gen_params_for(const ExperimentOptions& options);
 /// counter deltas attributable to that experiment.
 obs::JsonValue experiment_json(const DesignExperiment& ex);
 
-/// Structured metrics report + trace sink for one bench run (--trace /
-/// --metrics-json). Construct after parsing flags; instrumentation turns on
-/// when either output was requested. Call finish() once, after the last
-/// stage, to write the files.
+/// Structured metrics report + telemetry sinks for one bench run (--trace /
+/// --metrics-json / --metrics-out). Construct after parsing flags;
+/// instrumentation turns on when any output was requested. --metrics-out DIR
+/// (or PDNN_METRICS_OUT) additionally starts a periodic MetricsSnapshotter
+/// writing DIR/metrics.jsonl + DIR/metrics.prom and points the flight
+/// recorder's post-mortem at DIR/flight.json. Shutdown hooks flush every
+/// sink even when the driver dies on an uncaught CheckError. Call finish()
+/// once, after the last stage, to write the files.
 class RunMetrics {
  public:
   RunMetrics(std::string bench_name, const util::ArgParser& args);
+  ~RunMetrics();
 
-  /// True when --trace or --metrics-json was given.
+  /// True when --trace, --metrics-json, or --metrics-out was given.
   bool enabled() const {
-    return !trace_path_.empty() || !metrics_path_.empty();
+    return !trace_path_.empty() || !metrics_path_.empty() ||
+           !metrics_out_.empty();
   }
 
   /// End the current run-level stage (laps are contiguous, so stages tile
@@ -195,6 +203,8 @@ class RunMetrics {
   std::string bench_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string metrics_out_;
+  std::unique_ptr<obs::MetricsSnapshotter> snapshotter_;
   obs::StageTimer laps_;
   obs::StageTimer total_;
   obs::CounterSnapshot start_{};

@@ -5,6 +5,8 @@
 // byte-for-byte against the serial pipeline before a throughput number is
 // reported — batching must never change the bits.
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -20,6 +22,47 @@ namespace {
 bool maps_equal(const pdnn::util::MapF& a, const pdnn::util::MapF& b) {
   return a.rows() == b.rows() && a.cols() == b.cols() &&
          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Client-observed wall-latency summary over one served run, in ms.
+/// Percentiles are exact (rank ceil(q·n) of the sorted samples), not
+/// histogram-bucketed — the per-run sample counts are small.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+LatencySummary summarize_latency_ms(std::vector<std::int64_t> nanos) {
+  LatencySummary s;
+  if (nanos.empty()) return s;
+  std::sort(nanos.begin(), nanos.end());
+  const auto n = static_cast<double>(nanos.size());
+  const auto at = [&](double q) {
+    auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    rank = std::min(std::max<std::size_t>(rank, 1), nanos.size());
+    return static_cast<double>(nanos[rank - 1]) * 1e-6;
+  };
+  s.p50 = at(0.50);
+  s.p95 = at(0.95);
+  s.p99 = at(0.99);
+  s.max = static_cast<double>(nanos.back()) * 1e-6;
+  double sum = 0.0;
+  for (const std::int64_t v : nanos) sum += static_cast<double>(v);
+  s.mean = sum / n * 1e-6;
+  return s;
+}
+
+pdnn::obs::JsonValue latency_json(const LatencySummary& s) {
+  pdnn::obs::JsonValue j = pdnn::obs::JsonValue::object();
+  j.set("p50", s.p50);
+  j.set("p95", s.p95);
+  j.set("p99", s.p99);
+  j.set("max", s.max);
+  j.set("mean", s.mean);
+  return j;
 }
 
 }  // namespace
@@ -112,12 +155,15 @@ int main(int argc, char** argv) {
       "serve_throughput: design=%s requests=%d max_batch=%d hw_threads=%u\n",
       ex.spec.name.c_str(), total_requests, serve_flags.options.max_batch,
       std::thread::hardware_concurrency());
-  std::printf("%-12s %12s %12s %10s %10s %10s\n", "mode", "seconds",
-              "req/s", "speedup", "batches", "width_max");
-  std::printf("%-12s %12.4f %12.2f %10s %10s %10s\n", "serial-seed",
-              seed_seconds, seed_rps, "-", "-", "-");
-  std::printf("%-12s %12.4f %12.2f %10s %10s %10s\n", "serial",
-              serial_seconds, serial_rps, "1.00", "-", "-");
+  std::printf("%-12s %12s %12s %10s %8s %9s %8s %8s %8s %8s\n", "mode",
+              "seconds", "req/s", "speedup", "batches", "width_max", "p50ms",
+              "p95ms", "p99ms", "maxms");
+  std::printf("%-12s %12.4f %12.2f %10s %8s %9s %8s %8s %8s %8s\n",
+              "serial-seed", seed_seconds, seed_rps, "-", "-", "-", "-", "-",
+              "-", "-");
+  std::printf("%-12s %12.4f %12.2f %10s %8s %9s %8s %8s %8s %8s\n", "serial",
+              serial_seconds, serial_rps, "1.00", "-", "-", "-", "-", "-",
+              "-");
 
   // 4) Served runs at increasing client counts; every map must match the
   //    serial bits.
@@ -126,6 +172,7 @@ int main(int argc, char** argv) {
   if (serve_flags.clients > 1) client_counts.push_back(serve_flags.clients);
   bool all_match = true;
   double best_speedup = 0.0;
+  LatencySummary full_latency;
   for (const int clients : client_counts) {
     serve::NoiseServer server(serve_flags.options);
     const serve::DesignId id = server.add_design(
@@ -133,21 +180,35 @@ int main(int argc, char** argv) {
 
     std::vector<serve::Response> responses(
         static_cast<std::size_t>(total_requests));
+    std::vector<std::int64_t> latency_ns(
+        static_cast<std::size_t>(total_requests), 0);
     obs::StageTimer timer;
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(clients));
     for (int c = 0; c < clients; ++c) {
       workers.emplace_back([&, c] {
-        // Client c owns the requests congruent to c mod `clients`.
+        // Client c owns the requests congruent to c mod `clients`. Each
+        // request's wall latency is measured on the client's side of the
+        // queue — what a caller actually waits.
+        using SteadyClock = std::chrono::steady_clock;
         for (int i = c; i < total_requests; i += clients) {
+          const SteadyClock::time_point begin = SteadyClock::now();
           responses[static_cast<std::size_t>(i)] =
               server.predict(id, traces[static_cast<std::size_t>(i)]);
+          const std::int64_t ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  SteadyClock::now() - begin)
+                  .count();
+          latency_ns[static_cast<std::size_t>(i)] = ns;
+          obs::hist_record(obs::Hist::kBenchRequestNanos, ns);
         }
       });
     }
     for (std::thread& w : workers) w.join();
     const double seconds = timer.lap("bench.serve_run");
     server.shutdown();
+    const LatencySummary latency = summarize_latency_ms(latency_ns);
+    if (clients == client_counts.back()) full_latency = latency;
 
     bool match = true;
     for (int i = 0; i < total_requests; ++i) {
@@ -165,10 +226,12 @@ int main(int argc, char** argv) {
     const double rps = total_requests / seconds;
     const double speedup = rps / serial_rps;
     best_speedup = std::max(best_speedup, speedup);
-    std::printf("%-12s %12.4f %12.2f %9.2fx %10lld %10d%s\n",
+    std::printf("%-12s %12.4f %12.2f %9.2fx %8lld %9d %8.2f %8.2f %8.2f "
+                "%8.2f%s\n",
                 ("serve:" + std::to_string(clients)).c_str(), seconds, rps,
                 speedup, static_cast<long long>(stats.batches),
-                stats.batch_width_max, match ? "" : "  [MISMATCH]");
+                stats.batch_width_max, latency.p50, latency.p95, latency.p99,
+                latency.max, match ? "" : "  [MISMATCH]");
 
     obs::JsonValue run = obs::JsonValue::object();
     run.set("clients", clients);
@@ -179,12 +242,24 @@ int main(int argc, char** argv) {
     run.set("batches", stats.batches);
     run.set("batch_width_max", stats.batch_width_max);
     run.set("queue_depth_max", stats.queue_depth_max);
+    run.set("latency_ms", latency_json(latency));
+    if (obs::enabled()) {
+      // Server-side per-design breakdown (telemetry-only): completed count
+      // and the deterministic end-to-end latency histogram.
+      const serve::NoiseServer::DesignStats ds = server.design_stats(id);
+      obs::JsonValue dj = obs::JsonValue::object();
+      dj.set("design", ds.name);
+      dj.set("completed", ds.completed);
+      dj.set("request_nanos", ds.request_nanos.to_json());
+      run.set("design_stats", std::move(dj));
+    }
     run.set("bit_identical", match);
     metrics.add_design(std::move(run));
   }
   metrics.lap("served_runs");
   metrics.set("bit_identical", all_match);
   metrics.set("best_speedup_vs_serial", best_speedup);
+  metrics.set("latency_ms", latency_json(full_latency));
   metrics.finish();
 
   // The concurrency wins (overlapped prepare, pool-parallel batched

@@ -1,0 +1,294 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "obs/spec.hpp"
+
+namespace pdnn::obs {
+
+namespace {
+
+/// Compile-time per-histogram spec. A missing entry leaves `name` null and
+/// trips the static_asserts below, so adding a Hist value without naming it
+/// cannot compile.
+struct HistSpec {
+  const char* name = nullptr;
+};
+
+constexpr std::array<HistSpec, kHistCount> kHistSpecs = {{
+    {"serve.prepare_nanos"},
+    {"serve.queue_nanos"},
+    {"serve.infer_nanos"},
+    {"serve.request_nanos"},
+    {"serve.batch_width"},
+    {"serve.queue_depth"},
+    {"store.chunk_bytes"},
+    {"bench.request_nanos"},
+}};
+
+static_assert(detail::specs_named_and_dotted(kHistSpecs),
+              "every Hist below kCount needs a non-empty dotted name");
+static_assert(detail::specs_unique(kHistSpecs),
+              "Hist names must be unique");
+
+// Spot-check the bucket math at compile time: unit buckets are exact, every
+// power of two starts a fresh bucket, and the top bucket absorbs INT64_MAX.
+static_assert(Histogram::bucket_index(0) == 0);
+static_assert(Histogram::bucket_index(Histogram::kSubCount - 1) ==
+              Histogram::kSubCount - 1);
+static_assert(Histogram::bucket_lower(Histogram::bucket_index(1 << 20)) ==
+              1 << 20);
+static_assert(Histogram::bucket_index(INT64_MAX) ==
+              Histogram::kBucketCount - 1);
+static_assert(Histogram::bucket_upper(Histogram::kBucketCount - 1) ==
+              INT64_MAX);
+
+/// Per-thread recording slab for one Hist: relaxed atomics so the calling
+/// thread's increments never contend and the snapshotter can read a
+/// concurrent, monotonically consistent view.
+struct HistSlab {
+  std::array<std::atomic<std::uint64_t>, Histogram::kBucketCount> buckets{};
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<std::int64_t> min{INT64_MAX};
+  std::atomic<std::int64_t> max{INT64_MIN};
+
+  void record(std::int64_t value) {
+    buckets[static_cast<std::size_t>(Histogram::bucket_index(value))]
+        .fetch_add(1, std::memory_order_relaxed);
+    sum.fetch_add(value, std::memory_order_relaxed);
+    std::int64_t cur = min.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !min.compare_exchange_weak(cur, value,
+                                      std::memory_order_relaxed)) {
+    }
+    cur = max.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max.compare_exchange_weak(cur, value,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Fold a relaxed-load copy of this slab into `out`.
+  void fold_into(Histogram& out) const {
+    std::array<std::uint64_t, Histogram::kBucketCount> copy;
+    std::uint64_t total = 0;
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      copy[static_cast<std::size_t>(i)] =
+          buckets[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+      total += copy[static_cast<std::size_t>(i)];
+    }
+    if (total == 0) return;
+    out.merge_raw(copy.data(), static_cast<std::int64_t>(total),
+                  sum.load(std::memory_order_relaxed),
+                  min.load(std::memory_order_relaxed),
+                  max.load(std::memory_order_relaxed));
+  }
+
+  void reset() {
+    for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+    sum.store(0, std::memory_order_relaxed);
+    min.store(INT64_MAX, std::memory_order_relaxed);
+    max.store(INT64_MIN, std::memory_order_relaxed);
+  }
+};
+
+// The registry mirrors the trace-span ThreadBuffer pattern (obs.cpp):
+// per-thread slab sets self-register, retire their contents into aggregate
+// histograms when the thread exits, and the registry is intentionally
+// leaked so worker thread_local destructors stay safe during static
+// teardown.
+struct ThreadSlabs;
+
+struct HistRegistry {
+  std::mutex mu;
+  std::vector<ThreadSlabs*> live;
+  std::array<Histogram, kHistCount> retired;
+};
+
+HistRegistry& hist_registry() {
+  static auto* r = new HistRegistry();
+  return *r;
+}
+
+struct ThreadSlabs {
+  std::array<HistSlab, kHistCount> slabs;
+
+  ThreadSlabs() {
+    HistRegistry& r = hist_registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.live.push_back(this);
+  }
+
+  ~ThreadSlabs() {
+    HistRegistry& r = hist_registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.live.erase(std::remove(r.live.begin(), r.live.end(), this),
+                 r.live.end());
+    for (int h = 0; h < kHistCount; ++h) {
+      slabs[static_cast<std::size_t>(h)].fold_into(
+          r.retired[static_cast<std::size_t>(h)]);
+    }
+  }
+};
+
+ThreadSlabs& thread_slabs() {
+  thread_local ThreadSlabs slabs;
+  return slabs;
+}
+
+struct SlowRequestWindow {
+  std::mutex mu;
+  std::vector<SlowRequest> top;  // kept sorted slowest-first, <= capacity
+};
+
+SlowRequestWindow& slow_window() {
+  static auto* w = new SlowRequestWindow();
+  return *w;
+}
+
+}  // namespace
+
+void Histogram::merge_raw(const std::uint64_t* buckets,
+                          std::int64_t moment_count, std::int64_t sum,
+                          std::int64_t min, std::int64_t max) {
+  std::int64_t added = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        buckets[static_cast<std::size_t>(i)];
+    added += static_cast<std::int64_t>(buckets[static_cast<std::size_t>(i)]);
+  }
+  if (moment_count <= 0 || added == 0) return;
+  sum_ += sum;
+  if (count_ == 0 || min < min_) min_ = min;
+  if (count_ == 0 || max > max_) max_ = max;
+  count_ += added;
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  std::int64_t rank = static_cast<std::int64_t>(
+      std::ceil(clamped * static_cast<double>(count_)));
+  rank = std::max<std::int64_t>(1, std::min(rank, count_));
+  std::int64_t cumulative = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cumulative +=
+        static_cast<std::int64_t>(buckets_[static_cast<std::size_t>(i)]);
+    if (cumulative >= rank) {
+      return std::clamp(bucket_upper(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::serialize() const {
+  std::string out;
+  out.resize(4 * sizeof(std::int64_t) +
+             static_cast<std::size_t>(kBucketCount) * sizeof(std::uint64_t));
+  char* p = out.data();
+  std::memcpy(p, &count_, sizeof(count_));
+  p += sizeof(count_);
+  std::memcpy(p, &sum_, sizeof(sum_));
+  p += sizeof(sum_);
+  const std::int64_t mn = min();
+  const std::int64_t mx = max();
+  std::memcpy(p, &mn, sizeof(mn));
+  p += sizeof(mn);
+  std::memcpy(p, &mx, sizeof(mx));
+  p += sizeof(mx);
+  std::memcpy(p, buckets_.data(),
+              static_cast<std::size_t>(kBucketCount) * sizeof(std::uint64_t));
+  return out;
+}
+
+JsonValue Histogram::to_json() const {
+  JsonValue j = JsonValue::object();
+  j.set("count", count_);
+  j.set("sum", sum_);
+  j.set("min", min());
+  j.set("max", max());
+  j.set("mean", mean());
+  j.set("p50", percentile(0.50));
+  j.set("p95", percentile(0.95));
+  j.set("p99", percentile(0.99));
+  return j;
+}
+
+const char* hist_name(Hist h) {
+  return kHistSpecs[static_cast<std::size_t>(h)].name;
+}
+
+namespace detail {
+
+void hist_record_slow(Hist h, std::int64_t value) {
+  thread_slabs().slabs[static_cast<std::size_t>(h)].record(value);
+}
+
+}  // namespace detail
+
+Histogram hist_merged(Hist h) {
+  Histogram out;
+  HistRegistry& r = hist_registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  out.merge(r.retired[static_cast<std::size_t>(h)]);
+  for (const ThreadSlabs* slabs : r.live) {
+    slabs->slabs[static_cast<std::size_t>(h)].fold_into(out);
+  }
+  return out;
+}
+
+void reset_histograms() {
+  HistRegistry& r = hist_registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (ThreadSlabs* slabs : r.live) {
+    for (auto& slab : slabs->slabs) slab.reset();
+  }
+  for (Histogram& h : r.retired) h = Histogram();
+  SlowRequestWindow& w = slow_window();
+  const std::lock_guard<std::mutex> wlock(w.mu);
+  w.top.clear();
+}
+
+JsonValue histograms_json() {
+  JsonValue out = JsonValue::object();
+  for (int i = 0; i < kHistCount; ++i) {
+    const Hist h = static_cast<Hist>(i);
+    Histogram merged = hist_merged(h);
+    if (!merged.empty()) out.set(hist_name(h), merged.to_json());
+  }
+  return out;
+}
+
+void record_slow_request(std::int64_t request_id, std::int64_t nanos) {
+  if (!enabled()) return;
+  SlowRequestWindow& w = slow_window();
+  const std::lock_guard<std::mutex> lock(w.mu);
+  if (w.top.size() >= static_cast<std::size_t>(kSlowRequestCapacity) &&
+      nanos <= w.top.back().nanos) {
+    return;
+  }
+  const SlowRequest entry{request_id, nanos};
+  const auto pos = std::upper_bound(
+      w.top.begin(), w.top.end(), entry,
+      [](const SlowRequest& a, const SlowRequest& b) {
+        return a.nanos > b.nanos;
+      });
+  w.top.insert(pos, entry);
+  if (w.top.size() > static_cast<std::size_t>(kSlowRequestCapacity)) {
+    w.top.pop_back();
+  }
+}
+
+std::vector<SlowRequest> take_slow_requests() {
+  SlowRequestWindow& w = slow_window();
+  const std::lock_guard<std::mutex> lock(w.mu);
+  return std::exchange(w.top, {});
+}
+
+}  // namespace pdnn::obs

@@ -1,0 +1,191 @@
+// Log-bucketed latency/size histograms (DESIGN.md §13).
+//
+// An obs::Histogram is an HDR-style fixed-bucket histogram over non-negative
+// int64 values (nanoseconds, widths, bytes): values below 2^kSubBits land in
+// exact unit buckets, and every octave above is split into 2^kSubBits
+// sub-buckets, bounding the relative bucket width at 2^-kSubBits (6.25%).
+// The bucket layout is a pure function of the value — never of which thread
+// recorded it — and bucket contents are plain integer counts, so merging
+// histograms is associative and commutative: aggregating per-thread
+// histograms of the same value multiset is bit-identical at any thread
+// count, the same determinism contract as the counters (obs.hpp).
+//
+// Two usage modes:
+//   * Value class — a local Histogram for single-threaded accumulation
+//     (bench drivers, per-design breakdowns guarded by a server mutex).
+//   * Global registry — hist_record(Hist, value) appends to a lock-free
+//     per-thread slab (relaxed atomics on the calling thread's own cache
+//     lines; no CAS loops, no shared-counter contention on the serve hot
+//     path). hist_merged(Hist) folds every live and retired slab into one
+//     Histogram. Disabled instrumentation costs one relaxed atomic branch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace pdnn::obs {
+
+class Histogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits linear sub-buckets per octave.
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubCount = 1 << kSubBits;
+  /// Exact unit buckets for [0, kSubCount) plus (62 - kSubBits + 1) octaves
+  /// of kSubCount sub-buckets covering the full non-negative int64 range.
+  static constexpr int kBucketCount = (64 - kSubBits) * kSubCount;
+
+  /// Bucket holding `value` (negatives clamp to bucket 0).
+  static constexpr int bucket_index(std::int64_t value) {
+    if (value < kSubCount) return value < 0 ? 0 : static_cast<int>(value);
+    const std::uint64_t v = static_cast<std::uint64_t>(value);
+    int exp = 63;
+    while ((v >> exp) == 0) --exp;  // exp = index of the highest set bit
+    const int shift = exp - kSubBits;
+    const int sub = static_cast<int>((v >> shift) - kSubCount);
+    return (exp - kSubBits + 1) * kSubCount + sub;
+  }
+
+  /// Smallest value mapping to bucket `index`.
+  static constexpr std::int64_t bucket_lower(int index) {
+    if (index < kSubCount) return index;
+    const int block = index / kSubCount;  // >= 1
+    const int sub = index % kSubCount;
+    return static_cast<std::int64_t>(kSubCount + sub) << (block - 1);
+  }
+
+  /// Largest value mapping to bucket `index` (inclusive).
+  static constexpr std::int64_t bucket_upper(int index) {
+    return index + 1 < kBucketCount ? bucket_lower(index + 1) - 1
+                                    : INT64_MAX;
+  }
+
+  void record(std::int64_t value) {
+    ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Fold raw bucket counts plus the (sum, min, max) moments into this
+  /// histogram; the count is derived from the buckets. `moment_count` == 0
+  /// skips the moments (an empty slab carries sentinel min/max).
+  void merge_raw(const std::uint64_t* buckets, std::int64_t moment_count,
+                 std::int64_t sum, std::int64_t min, std::int64_t max);
+
+  void merge(const Histogram& other) {
+    merge_raw(other.buckets_.data(), other.count_, other.sum_, other.min_,
+              other.max_);
+  }
+
+  std::int64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  std::int64_t min() const { return count_ > 0 ? min_ : 0; }
+  std::int64_t max() const { return count_ > 0 ? max_ : 0; }
+  bool empty() const { return count_ == 0; }
+  double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1]: the upper edge of the bucket containing
+  /// the rank-ceil(q·count) recording, clamped to [min, max] so exact
+  /// extremes are reported exactly. 0 when empty. Deterministic — a pure
+  /// function of the bucket contents.
+  std::int64_t percentile(double q) const;
+
+  const std::array<std::uint64_t, kBucketCount>& buckets() const {
+    return buckets_;
+  }
+
+  /// Deterministic byte image (moments + bucket array) for memcmp-style
+  /// equality in tests; two histograms of the same multiset serialize
+  /// identically regardless of recording order or thread count.
+  std::string serialize() const;
+
+  /// {"count","sum","min","max","mean","p50","p95","p99"}.
+  JsonValue to_json() const;
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Global histogram registry
+// ---------------------------------------------------------------------------
+
+/// Histogram identities. Dotted names via hist_name(); *_nanos histograms
+/// record wall-time intervals, the rest record dimensionless distributions.
+enum class Hist : int {
+  kServePrepareNanos,  ///< per-request compression on the client thread
+  kServeQueueNanos,    ///< enqueue → dequeue wait (includes timed-out reqs)
+  kServeInferNanos,    ///< fused infer_batch wall time per batch
+  kServeRequestNanos,  ///< submit → response, as observed by the client
+  kServeBatchWidth,    ///< fused micro-batch widths
+  kServeQueueDepth,    ///< queue depth sampled at each admission
+  kStoreChunkBytes,    ///< payload sizes moving through the run store
+  kBenchRequestNanos,  ///< client-measured request wall time (bench drivers)
+  kCount
+};
+
+constexpr int kHistCount = static_cast<int>(Hist::kCount);
+
+/// Stable dotted name ("serve.queue_nanos") used in metrics JSON and (after
+/// sanitizing) the Prometheus exposition.
+const char* hist_name(Hist h);
+
+namespace detail {
+/// Slow path of hist_record: appends to the calling thread's slab.
+void hist_record_slow(Hist h, std::int64_t value);
+}  // namespace detail
+
+/// Record one value when enabled; no-op (one relaxed branch) otherwise.
+inline void hist_record(Hist h, std::int64_t value) {
+  if (!enabled()) return;
+  detail::hist_record_slow(h, value);
+}
+
+/// Merge every live per-thread slab and every retired thread's residue into
+/// one Histogram. Safe to call while other threads record (the snapshotter
+/// does): concurrent recordings land in either this snapshot or the next.
+Histogram hist_merged(Hist h);
+
+/// Drop all recorded histogram data (tests, run boundaries).
+void reset_histograms();
+
+/// {"serve.queue_nanos": {...}, ...} for every non-empty histogram.
+JsonValue histograms_json();
+
+// ---------------------------------------------------------------------------
+// Slow-request exemplars
+// ---------------------------------------------------------------------------
+
+/// One slow-request exemplar: the request id ties the percentile tail back
+/// to the trace spans carrying the same id.
+struct SlowRequest {
+  std::int64_t request_id = 0;
+  std::int64_t nanos = 0;
+};
+
+/// Exemplars kept per snapshot window (the K slowest requests).
+constexpr int kSlowRequestCapacity = 8;
+
+/// Offer a completed request as a slow-request exemplar; kept iff it is
+/// among the top-K slowest since the last take_slow_requests(). No-op when
+/// instrumentation is disabled.
+void record_slow_request(std::int64_t request_id, std::int64_t nanos);
+
+/// Drain the current window: returns exemplars sorted slowest-first and
+/// resets the window (the snapshotter calls this once per interval).
+std::vector<SlowRequest> take_slow_requests();
+
+}  // namespace pdnn::obs

@@ -10,6 +10,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/spec.hpp"
+#include "obs/telemetry.hpp"
+
 namespace pdnn::obs {
 
 namespace {
@@ -98,18 +101,14 @@ std::mutex& log_mutex() {
   return *mu;
 }
 
-void write_trace_at_exit() {
-  if (!trace_path().empty()) write_trace();
-}
-
 /// Reads PDNN_TRACE / PDNN_OBS before main() (static init is
-/// single-threaded, so no synchronization hazards).
+/// single-threaded, so no synchronization hazards). set_trace_path installs
+/// the shutdown flush hooks, so the env-enabled trace is written on exit.
 struct EnvInit {
   EnvInit() {
     if (const char* path = std::getenv("PDNN_TRACE");
         path != nullptr && *path != '\0') {
       set_trace_path(path);
-      std::atexit(write_trace_at_exit);
     } else if (const char* on = std::getenv("PDNN_OBS");
                on != nullptr && std::atoi(on) >= 1) {
       set_enabled(true);
@@ -140,56 +139,64 @@ void record_span(const char* name, std::int64_t begin_ns, std::int64_t end_ns,
 
 }  // namespace detail
 
+namespace {
+
+/// Compile-time per-counter spec: dotted export name plus the total/gauge
+/// distinction, in Counter declaration order. A Counter added to the enum
+/// without a row here leaves `name` null and fails the static_asserts, so
+/// blank names and missing counter_is_gauge() entries cannot compile.
+struct CounterSpec {
+  const char* name = nullptr;
+  bool gauge = false;
+};
+
+constexpr std::array<CounterSpec, kCounterCount> kCounterSpecs = {{
+    {"pool.runs", false},
+    {"pool.chunks", false},
+    {"pool.chunk_nanos", false},
+    {"pool.chunks_per_run_max", true},
+    {"pcg.solves", false},
+    {"pcg.iterations", false},
+    {"amg.vcycles", false},
+    {"cholesky.solves", false},
+    {"cholesky.solve_columns", false},
+    {"cholesky.batch_width_max", true},
+    {"gemm.calls", false},
+    {"gemm.flops", false},
+    {"gemm.avx2", false},
+    {"kernel.packed_bytes", false},
+    {"conv.im2col_bytes_max", true},
+    {"conv.fused", false},
+    {"sim.traces", false},
+    {"sim.steps", false},
+    {"sim.batch_width_max", true},
+    {"train.epochs", false},
+    {"train.samples", false},
+    {"serve.requests", false},
+    {"serve.batches", false},
+    {"serve.batch_width_max", true},
+    {"serve.queue_depth_max", true},
+    {"serve.timeouts", false},
+    {"serve.overloads", false},
+    {"store.hit", false},
+    {"store.miss", false},
+    {"store.write", false},
+    {"store.evict", false},
+}};
+
+static_assert(detail::specs_named_and_dotted(kCounterSpecs),
+              "every Counter below kCount needs a non-empty dotted name");
+static_assert(detail::specs_unique(kCounterSpecs),
+              "Counter names must be unique");
+
+}  // namespace
+
 const char* counter_name(Counter c) {
-  switch (c) {
-    case Counter::kPoolRuns: return "pool.runs";
-    case Counter::kPoolChunks: return "pool.chunks";
-    case Counter::kPoolChunkNanos: return "pool.chunk_nanos";
-    case Counter::kPoolChunksPerRunMax: return "pool.chunks_per_run_max";
-    case Counter::kPcgSolves: return "pcg.solves";
-    case Counter::kPcgIterations: return "pcg.iterations";
-    case Counter::kAmgVcycles: return "amg.vcycles";
-    case Counter::kCholSolves: return "cholesky.solves";
-    case Counter::kCholSolveColumns: return "cholesky.solve_columns";
-    case Counter::kCholBatchWidthMax: return "cholesky.batch_width_max";
-    case Counter::kGemmCalls: return "gemm.calls";
-    case Counter::kGemmFlops: return "gemm.flops";
-    case Counter::kGemmAvx2Calls: return "gemm.avx2";
-    case Counter::kKernelPackedBytes: return "kernel.packed_bytes";
-    case Counter::kConvIm2colBytesMax: return "conv.im2col_bytes_max";
-    case Counter::kConvFusedCalls: return "conv.fused";
-    case Counter::kSimTraces: return "sim.traces";
-    case Counter::kSimSteps: return "sim.steps";
-    case Counter::kSimBatchWidthMax: return "sim.batch_width_max";
-    case Counter::kTrainEpochs: return "train.epochs";
-    case Counter::kTrainSamples: return "train.samples";
-    case Counter::kServeRequests: return "serve.requests";
-    case Counter::kServeBatches: return "serve.batches";
-    case Counter::kServeBatchWidthMax: return "serve.batch_width_max";
-    case Counter::kServeQueueDepthMax: return "serve.queue_depth_max";
-    case Counter::kServeTimeouts: return "serve.timeouts";
-    case Counter::kServeOverloads: return "serve.overloads";
-    case Counter::kStoreHits: return "store.hit";
-    case Counter::kStoreMisses: return "store.miss";
-    case Counter::kStoreWrites: return "store.write";
-    case Counter::kStoreEvicts: return "store.evict";
-    case Counter::kCount: break;
-  }
-  return "?";
+  return kCounterSpecs[static_cast<std::size_t>(c)].name;
 }
 
 bool counter_is_gauge(Counter c) {
-  switch (c) {
-    case Counter::kPoolChunksPerRunMax:
-    case Counter::kCholBatchWidthMax:
-    case Counter::kConvIm2colBytesMax:
-    case Counter::kSimBatchWidthMax:
-    case Counter::kServeBatchWidthMax:
-    case Counter::kServeQueueDepthMax:
-      return true;
-    default:
-      return false;
-  }
+  return kCounterSpecs[static_cast<std::size_t>(c)].gauge;
 }
 
 void set_enabled(bool on) {
@@ -243,7 +250,12 @@ void set_trace_path(const std::string& path) {
     const std::lock_guard<std::mutex> lock(path_mutex());
     trace_path_slot() = path;
   }
-  if (!path.empty()) set_enabled(true);
+  if (!path.empty()) {
+    set_enabled(true);
+    // The trace must land on disk even when the process dies on an
+    // uncaught CheckError before the driver's own writer runs.
+    register_shutdown_hooks();
+  }
 }
 
 const std::string& trace_path() {

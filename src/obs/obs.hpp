@@ -1,5 +1,7 @@
 // Instrumentation subsystem: trace spans, counters, and a structured log
-// sink (DESIGN.md §9).
+// sink (DESIGN.md §9). Latency histograms live in obs/histogram.hpp and the
+// production telemetry sinks (metrics snapshotter, Prometheus exposition,
+// flight recorder, shutdown flush) in obs/telemetry.hpp (DESIGN.md §13).
 //
 // Three layers, all guarded by one process-wide enable flag so that disabled
 // instrumentation costs a single relaxed atomic load and branch per call

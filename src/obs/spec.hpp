@@ -1,0 +1,49 @@
+// Compile-time validation helpers for the Counter/Hist identity tables
+// (obs.cpp, histogram.cpp). The tables are constexpr arrays indexed by the
+// enum; these checks make a missing, blank, dot-free, or duplicated name a
+// compile error, so a future enum addition cannot silently export an
+// unnamed metric.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace pdnn::obs::detail {
+
+constexpr bool str_equal(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    if (*a != *b) return false;
+  }
+  return *a == *b;
+}
+
+constexpr bool has_dot(const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '.') return true;
+  }
+  return false;
+}
+
+/// Every spec has a non-null, non-empty, dotted name (specs value-initialize
+/// `name` to nullptr, so an enum value without a table entry fails here).
+template <typename Spec, std::size_t N>
+constexpr bool specs_named_and_dotted(const std::array<Spec, N>& specs) {
+  for (const Spec& spec : specs) {
+    if (spec.name == nullptr || *spec.name == '\0' || !has_dot(spec.name)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename Spec, std::size_t N>
+constexpr bool specs_unique(const std::array<Spec, N>& specs) {
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = i + 1; j < N; ++j) {
+      if (str_equal(specs[i].name, specs[j].name)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pdnn::obs::detail

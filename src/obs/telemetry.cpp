@@ -1,0 +1,353 @@
+#include "obs/telemetry.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pdnn::obs {
+
+namespace {
+
+/// "serve.queue_nanos" → "pdnn_serve_queue_nanos".
+std::string prom_name(const char* dotted) {
+  std::string out = "pdnn_";
+  for (const char* p = dotted; *p != '\0'; ++p) {
+    out += *p == '.' ? '_' : *p;
+  }
+  return out;
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %lld\n", static_cast<long long>(value));
+  out += name;
+  out += buf;
+}
+
+// --- active snapshotter (for the shutdown flush) ---------------------------
+
+std::mutex& active_mutex() {
+  static auto* mu = new std::mutex();
+  return *mu;
+}
+
+MetricsSnapshotter*& active_snapshotter() {
+  static MetricsSnapshotter* active = nullptr;
+  return active;
+}
+
+}  // namespace
+
+std::string prometheus_text() {
+  std::string out;
+  const CounterSnapshot counters = snapshot_counters();
+  for (int i = 0; i < kCounterCount; ++i) {
+    const Counter c = static_cast<Counter>(i);
+    const std::int64_t value = counters[static_cast<std::size_t>(i)];
+    if (value == 0) continue;
+    if (counter_is_gauge(c)) {
+      const std::string name = prom_name(counter_name(c));
+      out += "# TYPE " + name + " gauge\n";
+      append_sample(out, name, value);
+    } else {
+      const std::string name = prom_name(counter_name(c)) + "_total";
+      out += "# TYPE " + name + " counter\n";
+      append_sample(out, name, value);
+    }
+  }
+  for (int i = 0; i < kHistCount; ++i) {
+    const Hist h = static_cast<Hist>(i);
+    const Histogram merged = hist_merged(h);
+    if (merged.empty()) continue;
+    const std::string name = prom_name(hist_name(h));
+    out += "# TYPE " + name + " histogram\n";
+    std::int64_t cumulative = 0;
+    char buf[64];
+    for (int b = 0; b < Histogram::kBucketCount; ++b) {
+      const std::uint64_t n = merged.buckets()[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      cumulative += static_cast<std::int64_t>(n);
+      std::snprintf(buf, sizeof(buf), "{le=\"%lld\"} %lld\n",
+                    static_cast<long long>(Histogram::bucket_upper(b)),
+                    static_cast<long long>(cumulative));
+      out += name + "_bucket" + buf;
+    }
+    std::snprintf(buf, sizeof(buf), "{le=\"+Inf\"} %lld\n",
+                  static_cast<long long>(merged.count()));
+    out += name + "_bucket" + buf;
+    append_sample(out, name + "_sum", merged.sum());
+    append_sample(out, name + "_count", merged.count());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshotter
+// ---------------------------------------------------------------------------
+
+struct MetricsSnapshotter::Impl {
+  std::mutex cv_mu;
+  std::condition_variable cv;
+  bool stopping = false;
+
+  std::mutex io_mu;  ///< serializes snapshot writes (thread vs stop/flush)
+  int seq = 0;
+
+  std::thread sampler;
+};
+
+MetricsSnapshotter::MetricsSnapshotter(SnapshotterOptions options)
+    : options_(std::move(options)), impl_(std::make_unique<Impl>()) {
+  PDN_CHECK(!options_.dir.empty(), "MetricsSnapshotter: empty output dir");
+  PDN_CHECK(options_.interval_seconds > 0.0,
+            "MetricsSnapshotter: interval must be > 0");
+  std::filesystem::create_directories(options_.dir);
+  // Fresh time series per run; the prom file is rewritten per sample anyway.
+  std::ofstream(jsonl_path(), std::ios::trunc);
+  set_enabled(true);
+  {
+    const std::lock_guard<std::mutex> lock(active_mutex());
+    active_snapshotter() = this;
+  }
+  register_shutdown_hooks();
+  impl_->sampler = std::thread([this] {
+    std::unique_lock<std::mutex> lock(impl_->cv_mu);
+    const auto interval = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(options_.interval_seconds));
+    while (!impl_->cv.wait_for(lock, interval,
+                               [this] { return impl_->stopping; })) {
+      lock.unlock();
+      snapshot_now();
+      lock.lock();
+    }
+  });
+}
+
+MetricsSnapshotter::~MetricsSnapshotter() { stop(); }
+
+void MetricsSnapshotter::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(active_mutex());
+    if (active_snapshotter() == this) active_snapshotter() = nullptr;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->cv_mu);
+    if (impl_->stopping && !impl_->sampler.joinable()) return;
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  if (impl_->sampler.joinable()) impl_->sampler.join();
+  snapshot_now();  // final sample so short runs always produce a series
+}
+
+void MetricsSnapshotter::snapshot_now() {
+  const std::lock_guard<std::mutex> lock(impl_->io_mu);
+  JsonValue line = JsonValue::object();
+  line.set("seq", impl_->seq);
+  line.set("ts_ns", detail::now_ns());
+  line.set("counters", counters_json());
+  line.set("histograms", histograms_json());
+  JsonValue slow = JsonValue::array();
+  for (const SlowRequest& s : take_slow_requests()) {
+    JsonValue entry = JsonValue::object();
+    entry.set("request_id", s.request_id);
+    entry.set("nanos", s.nanos);
+    slow.push(std::move(entry));
+  }
+  line.set("slow_requests", std::move(slow));
+
+  std::ofstream jsonl(jsonl_path(), std::ios::app);
+  if (jsonl) jsonl << line.dump(0) << '\n';
+  std::ofstream prom(prom_path(), std::ios::trunc);
+  if (prom) prom << prometheus_text();
+  ++impl_->seq;
+}
+
+int MetricsSnapshotter::samples() const {
+  const std::lock_guard<std::mutex> lock(impl_->io_mu);
+  return impl_->seq;
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+const char* flight_event_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kAdmit: return "admit";
+    case FlightEventKind::kOverload: return "overload";
+    case FlightEventKind::kTimeout: return "timeout";
+    case FlightEventKind::kBatch: return "batch";
+    case FlightEventKind::kSwap: return "swap";
+    case FlightEventKind::kShutdown: return "shutdown";
+    case FlightEventKind::kMark: return "mark";
+    case FlightEventKind::kCount: break;
+  }
+  return "?";
+}
+
+struct FlightRecorder::Impl {
+  mutable std::mutex mu;
+  std::vector<FlightEvent> ring;
+  std::size_t next = 0;  ///< overwrite cursor once the ring is full
+  std::int64_t dropped = 0;
+  std::string dump_path;
+  bool auto_dumped = false;
+};
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      impl_(std::make_unique<Impl>()) {
+  impl_->ring.reserve(capacity_);
+}
+
+FlightRecorder::~FlightRecorder() = default;
+
+void FlightRecorder::record(FlightEventKind kind, std::int64_t request_id,
+                            std::int64_t design, std::int64_t value) {
+  const FlightEvent event{detail::now_ns(), kind, request_id, design, value};
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->ring.size() < capacity_) {
+    impl_->ring.push_back(event);
+  } else {
+    impl_->ring[impl_->next] = event;
+    impl_->next = (impl_->next + 1) % capacity_;
+    ++impl_->dropped;
+  }
+  // A first rejection is exactly the moment a post-mortem is wanted; dump
+  // once, so a rejection storm doesn't turn into an I/O storm.
+  if ((kind == FlightEventKind::kTimeout ||
+       kind == FlightEventKind::kOverload) &&
+      !impl_->auto_dumped && !impl_->dump_path.empty()) {
+    impl_->auto_dumped = true;
+    dump_locked(impl_->dump_path);
+  }
+}
+
+void FlightRecorder::set_dump_path(const std::string& path) {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->dump_path = path;
+    impl_->auto_dumped = false;
+  }
+  if (!path.empty()) register_shutdown_hooks();
+}
+
+std::string FlightRecorder::dump_path() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->dump_path;
+}
+
+JsonValue FlightRecorder::to_json() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return to_json_locked();
+}
+
+JsonValue FlightRecorder::to_json_locked() const {
+  JsonValue root = JsonValue::object();
+  root.set("capacity", static_cast<std::int64_t>(capacity_));
+  root.set("dropped", impl_->dropped);
+  JsonValue events = JsonValue::array();
+  const std::size_t n = impl_->ring.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Chronological: the cursor points at the oldest event once wrapped.
+    const FlightEvent& ev = impl_->ring[(impl_->next + i) % n];
+    JsonValue e = JsonValue::object();
+    e.set("ts_ns", ev.ts_ns);
+    e.set("kind", flight_event_name(ev.kind));
+    e.set("request_id", ev.request_id);
+    e.set("design", ev.design);
+    e.set("value", ev.value);
+    events.push(std::move(e));
+  }
+  root.set("events", std::move(events));
+  return root;
+}
+
+bool FlightRecorder::dump_locked(const std::string& path) const {
+  if (path.empty()) return false;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_json_locked().dump() << '\n';
+  return static_cast<bool>(out);
+}
+
+bool FlightRecorder::dump(const std::string& path) const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return dump_locked(path);
+}
+
+bool FlightRecorder::dump() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return dump_locked(impl_->dump_path);
+}
+
+std::size_t FlightRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->ring.size();
+}
+
+std::int64_t FlightRecorder::dropped() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->dropped;
+}
+
+void FlightRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->ring.clear();
+  impl_->next = 0;
+  impl_->dropped = 0;
+  impl_->auto_dumped = false;
+}
+
+FlightRecorder& flight() {
+  static auto* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown flush
+// ---------------------------------------------------------------------------
+
+void flush_telemetry() {
+  {
+    const std::lock_guard<std::mutex> lock(active_mutex());
+    if (MetricsSnapshotter* active = active_snapshotter()) {
+      active->snapshot_now();
+    }
+  }
+  flight().dump();  // no-op without a configured dump path
+  write_trace();    // no-op without a configured trace path
+}
+
+namespace {
+
+std::terminate_handler g_previous_terminate = nullptr;
+
+[[noreturn]] void flush_then_terminate() {
+  flush_telemetry();
+  if (g_previous_terminate != nullptr) g_previous_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+void register_shutdown_hooks() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::atexit([] { flush_telemetry(); });
+    g_previous_terminate = std::set_terminate(flush_then_terminate);
+  });
+}
+
+}  // namespace pdnn::obs

@@ -1,0 +1,177 @@
+// Production telemetry on top of the counter/histogram substrate
+// (DESIGN.md §13): a periodic metrics snapshotter (JSONL time series +
+// Prometheus text exposition), a bounded flight recorder for post-mortem
+// diagnosis, and process shutdown hooks that flush every configured sink
+// even when a driver dies on an uncaught CheckError.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace pdnn::obs {
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Render every non-zero counter, gauge, and non-empty histogram in the
+/// Prometheus text format (one `# TYPE` line per family; dotted names are
+/// sanitized to `pdnn_*` with underscores; totals gain the `_total` suffix;
+/// histograms emit cumulative `_bucket{le="..."}` samples at each occupied
+/// bucket edge plus `+Inf`, `_sum`, and `_count`).
+std::string prometheus_text();
+
+// ---------------------------------------------------------------------------
+// Metrics snapshotter
+// ---------------------------------------------------------------------------
+
+struct SnapshotterOptions {
+  std::string dir;                 ///< output directory (created on start)
+  double interval_seconds = 0.25;  ///< sampling period
+};
+
+/// Periodic sampler of the process-wide counters, gauges, histograms, and
+/// slow-request exemplars. Each interval appends one JSON object line to
+/// `<dir>/metrics.jsonl` (a time series: seq, ts_ns, counters, histograms,
+/// slow_requests) and rewrites `<dir>/metrics.prom` with the current
+/// Prometheus exposition. Construction enables instrumentation and
+/// registers the shutdown flush hooks; stop() takes a final sample and
+/// joins the sampling thread (the destructor calls it).
+class MetricsSnapshotter {
+ public:
+  explicit MetricsSnapshotter(SnapshotterOptions options);
+  ~MetricsSnapshotter();
+
+  MetricsSnapshotter(const MetricsSnapshotter&) = delete;
+  MetricsSnapshotter& operator=(const MetricsSnapshotter&) = delete;
+
+  /// Final sample + join. Idempotent.
+  void stop();
+
+  /// Take one sample immediately (also used by the shutdown flush and
+  /// tests). Thread-safe against the periodic sampler.
+  void snapshot_now();
+
+  /// Samples written so far.
+  int samples() const;
+
+  const SnapshotterOptions& options() const { return options_; }
+  std::string jsonl_path() const { return options_.dir + "/metrics.jsonl"; }
+  std::string prom_path() const { return options_.dir + "/metrics.prom"; }
+
+ private:
+  struct Impl;
+  SnapshotterOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// Structured event kinds recorded by the serving path (and future
+/// artifact-swap machinery). `design`/`value` carry per-kind payloads
+/// documented at the recording sites.
+enum class FlightEventKind : int {
+  kAdmit,     ///< request accepted (value = queue depth after enqueue)
+  kOverload,  ///< request rejected, queue full (value = queue capacity)
+  kTimeout,   ///< request rejected at dequeue (value = queued nanos)
+  kBatch,     ///< micro-batch fused (value = width, request_id = first id)
+  kSwap,      ///< artifact swapped in (value = artifact version)
+  kShutdown,  ///< server drained (value = completed requests)
+  kMark,      ///< free-form marker for tests/tools
+  kCount
+};
+
+const char* flight_event_name(FlightEventKind kind);
+
+struct FlightEvent {
+  std::int64_t ts_ns = 0;  ///< obs trace clock (same epoch as spans)
+  FlightEventKind kind = FlightEventKind::kMark;
+  std::int64_t request_id = 0;
+  std::int64_t design = 0;
+  std::int64_t value = 0;
+};
+
+/// Bounded in-memory ring of recent structured events, dumped as a JSON
+/// post-mortem on shutdown, on the first kTimeout/kOverload after a dump
+/// path is configured, or on demand. Recording is mutex-guarded (events are
+/// per-request, not per-sample, so contention is negligible) and never
+/// feeds back into computation.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+  ~FlightRecorder();
+
+  /// Append one event; overwrites the oldest once `capacity` is reached.
+  /// The first kTimeout/kOverload triggers an automatic dump when a dump
+  /// path is set (re-armed by set_dump_path).
+  void record(FlightEventKind kind, std::int64_t request_id = 0,
+              std::int64_t design = 0, std::int64_t value = 0);
+
+  /// Post-mortem destination; also registers the shutdown flush hooks and
+  /// re-arms the first-failure automatic dump.
+  void set_dump_path(const std::string& path);
+  std::string dump_path() const;
+
+  /// Write the ring (oldest event first) as a JSON document. dump() uses
+  /// the configured path and returns false when none is set.
+  bool dump(const std::string& path) const;
+  bool dump() const;
+
+  JsonValue to_json() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Events overwritten so far (ring wrapped when > 0).
+  std::int64_t dropped() const;
+  void clear();
+
+ private:
+  JsonValue to_json_locked() const;
+  bool dump_locked(const std::string& path) const;
+
+  struct Impl;
+  std::size_t capacity_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The process-wide flight recorder instance the serving path records into.
+FlightRecorder& flight();
+
+/// Record into the global flight recorder when instrumentation is enabled;
+/// one relaxed branch otherwise.
+inline void flight_record(FlightEventKind kind, std::int64_t request_id = 0,
+                          std::int64_t design = 0, std::int64_t value = 0) {
+  if (!enabled()) return;
+  flight().record(kind, request_id, design, value);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown flush
+// ---------------------------------------------------------------------------
+
+/// Flush every configured telemetry sink now: a final snapshot from the
+/// active MetricsSnapshotter (if any), the global flight recorder's dump
+/// (if a path is set), and the Chrome trace (if a trace path is set).
+/// Idempotent and safe to call from atexit/terminate context.
+void flush_telemetry();
+
+/// Install flush_telemetry as both an atexit handler and a chained
+/// std::terminate handler, so telemetry survives early exits — including a
+/// bench driver dying on an uncaught CheckError, which reaches
+/// std::terminate and would otherwise skip every writer. Idempotent; called
+/// automatically by set_trace_path, FlightRecorder::set_dump_path, and the
+/// snapshotter.
+void register_shutdown_hooks();
+
+}  // namespace pdnn::obs

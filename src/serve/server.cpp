@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -10,7 +11,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/histogram.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace pdnn::serve {
@@ -31,10 +34,17 @@ using Clock = std::chrono::steady_clock;
 double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
+
+/// Process-unique monotonic request ids, shared by every NoiseServer so one
+/// trace never carries two requests with the same id. Assigned even when
+/// instrumentation is off — the id rides in the Response either way and a
+/// relaxed fetch_add is as cheap as the bookkeeping around it.
+std::atomic<std::int64_t> g_next_request_id{1};
 }  // namespace
 
 struct NoiseServer::Impl {
   struct DesignEntry {
+    DesignId id = 0;
     std::string name;
     core::ModelArtifact artifact;  // owns the model the pipeline references
     core::WorstCasePipeline pipeline;
@@ -47,12 +57,21 @@ struct NoiseServer::Impl {
                    core::PipelineOptions{artifact.temporal}) {}
   };
 
+  /// Telemetry-only per-design accumulation (guarded by mu_, written by the
+  /// worker only while obs::enabled()).
+  struct PerDesign {
+    std::int64_t completed = 0;
+    obs::Histogram request_nanos;
+  };
+
   struct Request {
     const DesignEntry* entry = nullptr;
     core::PreparedRequest prepared;
     Clock::time_point enqueued;
     Clock::time_point deadline;
     bool has_deadline = false;
+    std::int64_t id = 0;
+    std::int64_t enqueued_ns = 0;  ///< obs trace clock; 0 when obs is off
     std::promise<Response> promise;
   };
 
@@ -82,6 +101,8 @@ struct NoiseServer::Impl {
       // FIFO keeps the batch composition deterministic for a given arrival
       // order; per-request bits never depend on it (pipeline.hpp).
       const Clock::time_point now = Clock::now();
+      const bool observing = obs::enabled();
+      const std::int64_t now_ns = observing ? obs::detail::now_ns() : 0;
       const DesignEntry* entry = queue_.front().entry;
       std::vector<Request> batch;
       std::vector<Request> expired;
@@ -89,6 +110,12 @@ struct NoiseServer::Impl {
              static_cast<int>(batch.size()) < options_.max_batch) {
         Request r = std::move(queue_.front());
         queue_.pop_front();
+        if (observing && r.enqueued_ns > 0) {
+          obs::hist_record(obs::Hist::kServeQueueNanos,
+                           now_ns - r.enqueued_ns);
+          obs::detail::record_span("serve.queue", r.enqueued_ns, now_ns,
+                                   "req", r.id);
+        }
         if (r.has_deadline && now >= r.deadline) {
           expired.push_back(std::move(r));
         } else {
@@ -107,25 +134,47 @@ struct NoiseServer::Impl {
 
       for (Request& r : expired) {
         obs::counter_add(obs::Counter::kServeTimeouts, 1);
+        if (observing && r.enqueued_ns > 0) {
+          obs::flight_record(obs::FlightEventKind::kTimeout, r.id, entry->id,
+                             now_ns - r.enqueued_ns);
+        }
         Response resp;
         resp.status = Status::kTimedOut;
         resp.queue_seconds = seconds_between(r.enqueued, now);
+        resp.request_id = r.id;
         r.promise.set_value(std::move(resp));
       }
 
       std::int64_t delivered = 0;
+      std::int64_t done_ns = 0;
       if (width > 0) {
         obs::counter_add(obs::Counter::kServeBatches, 1);
         obs::counter_max(obs::Counter::kServeBatchWidthMax, width);
+        if (observing) {
+          obs::hist_record(obs::Hist::kServeBatchWidth, width);
+          obs::flight_record(obs::FlightEventKind::kBatch, batch.front().id,
+                             entry->id, width);
+        }
         try {
           obs::TraceSpan span("serve.batch", "width", width);
           std::vector<const core::PreparedRequest*> prepared;
           prepared.reserve(batch.size());
           for (const Request& r : batch) prepared.push_back(&r.prepared);
+          const std::int64_t infer_begin_ns =
+              observing ? obs::detail::now_ns() : 0;
           const Clock::time_point start = Clock::now();
           std::vector<util::MapF> maps =
               entry->pipeline.infer_batch(prepared);
           const double infer_s = seconds_between(start, Clock::now());
+          if (observing) {
+            done_ns = obs::detail::now_ns();
+            obs::hist_record(obs::Hist::kServeInferNanos,
+                             done_ns - infer_begin_ns);
+            for (const Request& r : batch) {
+              obs::detail::record_span("serve.infer", infer_begin_ns, done_ns,
+                                       "req", r.id);
+            }
+          }
           for (std::size_t i = 0; i < batch.size(); ++i) {
             Response resp;
             resp.status = Status::kOk;
@@ -134,6 +183,7 @@ struct NoiseServer::Impl {
             resp.infer_seconds = infer_s;
             resp.batch_width = width;
             resp.kept_steps = batch[i].prepared.kept_steps;
+            resp.request_id = batch[i].id;
             batch[i].promise.set_value(std::move(resp));
             ++delivered;
           }
@@ -146,6 +196,18 @@ struct NoiseServer::Impl {
       }
       lock.lock();
       stats_.completed += delivered;
+      if (observing && delivered > 0) {
+        // Per-design breakdown: end-to-end latency measured on the obs
+        // clock from admission to batch completion. Telemetry-only state,
+        // so it accrues only while instrumentation is on.
+        PerDesign& per = per_design_[static_cast<std::size_t>(entry->id)];
+        per.completed += delivered;
+        for (const Request& r : batch) {
+          if (r.enqueued_ns > 0) {
+            per.request_nanos.record(done_ns - r.enqueued_ns);
+          }
+        }
+      }
     }
   }
 
@@ -154,6 +216,7 @@ struct NoiseServer::Impl {
   std::condition_variable cv_;
   std::deque<Request> queue_;
   std::vector<std::unique_ptr<DesignEntry>> designs_;
+  std::vector<PerDesign> per_design_;  ///< parallel to designs_
   bool stopping_ = false;
   bool paused_ = false;
   Stats stats_;
@@ -174,13 +237,23 @@ DesignId NoiseServer::add_design(std::string name, const pdn::PowerGrid& grid,
                                                    std::move(artifact));
   std::lock_guard<std::mutex> lock(impl_->mu_);
   PDN_CHECK(!impl_->stopping_, "NoiseServer::add_design: server is shut down");
+  const DesignId id = static_cast<DesignId>(impl_->designs_.size());
+  entry->id = id;
   impl_->designs_.push_back(std::move(entry));
-  return static_cast<DesignId>(impl_->designs_.size()) - 1;
+  impl_->per_design_.emplace_back();
+  return id;
 }
 
 Response NoiseServer::predict(DesignId design,
                               const vectors::CurrentTrace& trace,
                               double deadline_seconds) {
+  const std::int64_t request_id =
+      g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+  const bool observing = obs::enabled();
+  const std::int64_t request_begin_ns =
+      observing ? obs::detail::now_ns() : 0;
+  obs::TraceSpan request_span("serve.request", "req", request_id);
+
   const Impl::DesignEntry* entry = nullptr;
   {
     std::lock_guard<std::mutex> lock(impl_->mu_);
@@ -191,6 +264,7 @@ Response NoiseServer::predict(DesignId design,
     if (impl_->stopping_) {
       Response resp;
       resp.status = Status::kShutdown;
+      resp.request_id = request_id;
       return resp;
     }
     entry = impl_->designs_[static_cast<std::size_t>(design)].get();
@@ -200,12 +274,22 @@ Response NoiseServer::predict(DesignId design,
   // the worker's fused forward passes and other clients' prepares.
   Impl::Request request;
   request.entry = entry;
-  request.prepared = entry->pipeline.prepare(trace);
+  request.id = request_id;
+  if (observing) {
+    const std::int64_t begin = obs::detail::now_ns();
+    request.prepared = entry->pipeline.prepare(trace);
+    const std::int64_t end = obs::detail::now_ns();
+    obs::detail::record_span("serve.prepare", begin, end, "req", request_id);
+    obs::hist_record(obs::Hist::kServePrepareNanos, end - begin);
+  } else {
+    request.prepared = entry->pipeline.prepare(trace);
+  }
 
   if (deadline_seconds < 0.0) {
     deadline_seconds = options_.default_deadline_seconds;
   }
   request.enqueued = Clock::now();
+  if (observing) request.enqueued_ns = obs::detail::now_ns();
   if (deadline_seconds > 0.0) {
     request.has_deadline = true;
     request.deadline =
@@ -219,13 +303,17 @@ Response NoiseServer::predict(DesignId design,
     if (impl_->stopping_) {
       Response resp;
       resp.status = Status::kShutdown;
+      resp.request_id = request_id;
       return resp;
     }
     if (static_cast<int>(impl_->queue_.size()) >= options_.queue_capacity) {
       ++impl_->stats_.overloads;
       obs::counter_add(obs::Counter::kServeOverloads, 1);
+      obs::flight_record(obs::FlightEventKind::kOverload, request_id,
+                         entry->id, options_.queue_capacity);
       Response resp;
       resp.status = Status::kOverloaded;
+      resp.request_id = request_id;
       return resp;
     }
     impl_->queue_.push_back(std::move(request));
@@ -235,9 +323,18 @@ Response NoiseServer::predict(DesignId design,
         std::max(impl_->stats_.queue_depth_max, depth);
     obs::counter_add(obs::Counter::kServeRequests, 1);
     obs::counter_max(obs::Counter::kServeQueueDepthMax, depth);
+    obs::hist_record(obs::Hist::kServeQueueDepth, depth);
+    obs::flight_record(obs::FlightEventKind::kAdmit, request_id, entry->id,
+                       depth);
   }
   impl_->cv_.notify_one();
-  return future.get();
+  Response response = future.get();
+  if (observing) {
+    const std::int64_t wall = obs::detail::now_ns() - request_begin_ns;
+    obs::hist_record(obs::Hist::kServeRequestNanos, wall);
+    obs::record_slow_request(request_id, wall);
+  }
+  return response;
 }
 
 void NoiseServer::shutdown() {
@@ -247,7 +344,12 @@ void NoiseServer::shutdown() {
     impl_->paused_ = false;  // the drain must proceed even if paused
   }
   impl_->cv_.notify_all();
-  if (impl_->worker_.joinable()) impl_->worker_.join();
+  if (impl_->worker_.joinable()) {
+    impl_->worker_.join();
+    std::lock_guard<std::mutex> lock(impl_->mu_);
+    obs::flight_record(obs::FlightEventKind::kShutdown, 0, 0,
+                       impl_->stats_.completed);
+  }
 }
 
 void NoiseServer::pause() {
@@ -271,6 +373,20 @@ int NoiseServer::queue_depth() const {
 NoiseServer::Stats NoiseServer::stats() const {
   std::lock_guard<std::mutex> lock(impl_->mu_);
   return impl_->stats_;
+}
+
+NoiseServer::DesignStats NoiseServer::design_stats(DesignId design) const {
+  std::lock_guard<std::mutex> lock(impl_->mu_);
+  PDN_CHECK(design >= 0 &&
+                design < static_cast<DesignId>(impl_->designs_.size()),
+            "NoiseServer::design_stats: unknown design id " +
+                std::to_string(design));
+  const auto i = static_cast<std::size_t>(design);
+  DesignStats out;
+  out.name = impl_->designs_[i]->name;
+  out.completed = impl_->per_design_[i].completed;
+  out.request_nanos = impl_->per_design_[i].request_nanos;
+  return out;
 }
 
 }  // namespace pdnn::serve

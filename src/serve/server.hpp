@@ -24,9 +24,16 @@
 //     destructor calls shutdown().
 //
 // Observability: every accepted request and executed batch bumps the
-// serve.* counters (obs.hpp) and each fused batch is wrapped in a
-// "serve.batch" trace span, so queue depth, batch width, and rejection
-// totals land in the standard metrics JSON.
+// serve.* counters (obs.hpp) and feeds the serve.* latency histograms
+// (histogram.hpp) — prepare, queue wait, fused infer, and end-to-end
+// request wall time, plus batch-width and queue-depth distributions. Each
+// request carries a process-unique monotonic id that appears in its
+// Response, in the "serve.request"/"serve.prepare"/"serve.queue"/
+// "serve.infer" trace spans (arg "req"), in the flight-recorder events
+// (telemetry.hpp), and in the slow-request exemplars, so a tail-latency
+// percentile can be chased back to one request's spans. All of it is gated
+// on obs::enabled() — disabled instrumentation costs one relaxed atomic
+// branch per site and never perturbs results.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +43,7 @@
 
 #include "core/artifact.hpp"
 #include "core/pipeline.hpp"
+#include "obs/histogram.hpp"
 #include "pdn/design.hpp"
 #include "util/grid2d.hpp"
 #include "vectors/current_trace.hpp"
@@ -69,6 +77,7 @@ struct Response {
   double infer_seconds = 0.0;  ///< wall time of the fused batch this rode in
   int batch_width = 0;         ///< width of that fused batch
   int kept_steps = 0;          ///< post-Algorithm-1 steps for this request
+  std::int64_t request_id = 0; ///< process-unique id tying traces/telemetry
 };
 
 using DesignId = int;
@@ -118,6 +127,16 @@ class NoiseServer {
     int queue_depth_max = 0;     ///< deepest observed queue
   };
   Stats stats() const;
+
+  /// Per-design serving breakdown, populated only while obs::enabled():
+  /// completed-request count and the end-to-end latency histogram for one
+  /// registered design (deterministic — see histogram.hpp).
+  struct DesignStats {
+    std::string name;
+    std::int64_t completed = 0;
+    obs::Histogram request_nanos;
+  };
+  DesignStats design_stats(DesignId design) const;
 
   const ServeOptions& options() const { return options_; }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/histogram.hpp"
 #include "obs/obs.hpp"
 #include "store/container.hpp"
 #include "util/check.hpp"
@@ -135,6 +136,8 @@ bool Store::get(std::uint64_t key, std::string* payload) {
   const std::lock_guard<std::mutex> lock(mu_);
   ++stats_.hits;
   obs::counter_add(obs::Counter::kStoreHits, 1);
+  obs::hist_record(obs::Hist::kStoreChunkBytes,
+                   static_cast<std::int64_t>(payload->size()));
   if (!indexed) {
     // Chunk present but unindexed (lost manifest): self-heal the index.
     const Entry entry{payload->size(),
@@ -166,6 +169,8 @@ void Store::put(std::uint64_t key, const std::string& payload) {
   append_manifest_line(key, manifest_[key]);
   ++stats_.writes;
   obs::counter_add(obs::Counter::kStoreWrites, 1);
+  obs::hist_record(obs::Hist::kStoreChunkBytes,
+                   static_cast<std::int64_t>(payload.size()));
 }
 
 bool Store::contains(std::uint64_t key) const {

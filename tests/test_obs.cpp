@@ -1,24 +1,31 @@
-// Observability subsystem (DESIGN.md §9): the overhead contract (disabled
-// instrumentation leaves every numerical output bit-identical), trace JSON
-// well-formedness with per-thread monotonic timestamps, and thread-count
-// independence of the aggregated counters.
+// Observability subsystem (DESIGN.md §9, §13): the overhead contract
+// (disabled instrumentation leaves every numerical output bit-identical),
+// trace JSON well-formedness with per-thread monotonic timestamps,
+// thread-count independence of the aggregated counters and histograms, and
+// the telemetry sinks (metrics snapshotter, Prometheus exposition, flight
+// recorder). The Hist*/Telemetry* suites are named for the TSan CI regex.
 #include <gtest/gtest.h>
 
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/dataset.hpp"
 #include "nn/conv.hpp"
 #include "nn/ops.hpp"
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -45,7 +52,10 @@ struct ObsGuard {
   static void reset() {
     obs::set_enabled(false);
     obs::reset_counters();
+    obs::reset_histograms();
     obs::clear_trace();
+    obs::flight().clear();
+    obs::flight().set_dump_path("");
   }
 };
 
@@ -307,11 +317,17 @@ TEST(ObsCounters, ReadingIsDeltaForTotalsAndEndValueForGauges) {
   EXPECT_TRUE(v.valid()) << json;
 }
 
-TEST(ObsCounters, EveryCounterHasAStableName) {
+TEST(ObsCounters, EveryCounterHasAStableUniqueName) {
+  // The compile-time spec tables already reject blank/missing/duplicate
+  // names; this locks the runtime view of the same contract.
   for (int i = 0; i < obs::kCounterCount; ++i) {
     const char* name = obs::counter_name(static_cast<obs::Counter>(i));
     EXPECT_STRNE(name, "?") << "counter " << i;
     EXPECT_NE(std::strchr(name, '.'), nullptr) << name;
+    for (int j = i + 1; j < obs::kCounterCount; ++j) {
+      EXPECT_STRNE(name, obs::counter_name(static_cast<obs::Counter>(j)))
+          << "counters " << i << " and " << j << " share a name";
+    }
   }
 }
 
@@ -367,6 +383,38 @@ TEST(ObsOverhead, OutputsBitIdenticalWithTracingOnAndOff) {
         "tracing on vs off, " + std::to_string(threads) + " threads";
     expect_outputs_bit_equal(off, on, what.c_str());
   }
+}
+
+TEST(ObsOverhead, OutputsBitIdenticalWithTelemetrySinksActive) {
+  // The strongest form of the overhead contract: a live snapshotter thread
+  // sampling concurrently plus an armed flight recorder must not perturb a
+  // single output bit relative to a fully disabled run.
+  ObsGuard guard;
+  const std::string dir = testing::TempDir() + "obs_overhead_telemetry";
+  for (int threads : {1, 8}) {
+    PoolGuard pool(threads);
+
+    obs::set_enabled(false);
+    const WorkloadOutputs off = run_workload();
+
+    WorkloadOutputs on;
+    {
+      obs::SnapshotterOptions options;
+      options.dir = dir;
+      options.interval_seconds = 0.005;
+      obs::MetricsSnapshotter snapshotter(options);  // enables obs
+      obs::flight().set_dump_path(dir + "/flight.json");
+      on = run_workload();
+      snapshotter.stop();
+    }
+    obs::set_enabled(false);
+    obs::flight().set_dump_path("");
+
+    const std::string what =
+        "telemetry on vs off, " + std::to_string(threads) + " threads";
+    expect_outputs_bit_equal(off, on, what.c_str());
+  }
+  std::filesystem::remove_all(dir);
 }
 
 // --- Trace export ------------------------------------------------------------
@@ -502,6 +550,305 @@ TEST(ObsLog, LogfFormatsAndAppendsNewline) {
   obs::log("plain line");
   const std::string out = testing::internal::GetCapturedStdout();
   EXPECT_EQ(out, "epoch  3/10  loss 0.125\nplain line\n");
+}
+
+// --- Histograms (DESIGN.md §13) ---------------------------------------------
+
+TEST(HistBuckets, UnitValuesAreExactAndEveryNameIsStableAndUnique) {
+  // Values below 2^kSubBits occupy exact unit buckets.
+  for (std::int64_t v = 0; v < obs::Histogram::kSubCount; ++v) {
+    const int idx = obs::Histogram::bucket_index(v);
+    EXPECT_EQ(idx, static_cast<int>(v));
+    EXPECT_EQ(obs::Histogram::bucket_lower(idx), v);
+    EXPECT_EQ(obs::Histogram::bucket_upper(idx), v);
+  }
+  for (int i = 0; i < obs::kHistCount; ++i) {
+    const char* name = obs::hist_name(static_cast<obs::Hist>(i));
+    ASSERT_NE(name, nullptr) << "hist " << i;
+    EXPECT_NE(std::strchr(name, '.'), nullptr) << name;
+    for (int j = i + 1; j < obs::kHistCount; ++j) {
+      EXPECT_STRNE(name, obs::hist_name(static_cast<obs::Hist>(j)))
+          << "hists " << i << " and " << j << " share a name";
+    }
+  }
+}
+
+TEST(HistBuckets, BoundariesAreExactAndRelativeWidthIsBounded) {
+  // Every power of two starts a fresh bucket, edges are exact, and each
+  // bucket's width is lower/2^kSubBits — the 6.25% relative-error bound.
+  for (int shift = obs::Histogram::kSubBits; shift < 63; ++shift) {
+    const std::int64_t pow2 = std::int64_t{1} << shift;
+    const int idx = obs::Histogram::bucket_index(pow2);
+    EXPECT_EQ(obs::Histogram::bucket_lower(idx), pow2) << "2^" << shift;
+    EXPECT_EQ(obs::Histogram::bucket_index(pow2 - 1), idx - 1);
+  }
+  for (const int idx : {obs::Histogram::kSubCount, 100, 500,
+                        obs::Histogram::kBucketCount - 2}) {
+    const std::int64_t lower = obs::Histogram::bucket_lower(idx);
+    const std::int64_t upper = obs::Histogram::bucket_upper(idx);
+    const int block = idx / obs::Histogram::kSubCount;
+    EXPECT_EQ(upper - lower + 1, std::int64_t{1} << (block - 1)) << idx;
+    EXPECT_LE((upper - lower + 1) * obs::Histogram::kSubCount, lower) << idx;
+    EXPECT_EQ(obs::Histogram::bucket_index(lower), idx);
+    EXPECT_EQ(obs::Histogram::bucket_index(upper), idx);
+  }
+  // Clamps: negatives to bucket 0, INT64_MAX to the top bucket.
+  EXPECT_EQ(obs::Histogram::bucket_index(-5), 0);
+  EXPECT_EQ(obs::Histogram::bucket_index(INT64_MAX),
+            obs::Histogram::kBucketCount - 1);
+  EXPECT_EQ(obs::Histogram::bucket_upper(obs::Histogram::kBucketCount - 1),
+            INT64_MAX);
+}
+
+TEST(HistPercentiles, ExactRanksOnAKnownDistribution) {
+  obs::Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0);  // empty
+  for (int i = 0; i < 50; ++i) h.record(5);
+  for (int i = 0; i < 45; ++i) h.record(10);
+  for (int i = 0; i < 5; ++i) h.record(15);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.sum(), 50 * 5 + 45 * 10 + 5 * 15);
+  EXPECT_EQ(h.min(), 5);
+  EXPECT_EQ(h.max(), 15);
+  EXPECT_EQ(h.percentile(0.50), 5);
+  EXPECT_EQ(h.percentile(0.95), 10);
+  EXPECT_EQ(h.percentile(0.99), 15);
+  EXPECT_EQ(h.percentile(0.0), 5);   // clamped to min
+  EXPECT_EQ(h.percentile(1.0), 15);  // clamped to max
+}
+
+TEST(HistMerge, ValueClassMergeMatchesSequentialRecording) {
+  std::mt19937_64 rng(17);
+  std::uniform_int_distribution<std::int64_t> dist(0, std::int64_t{1} << 40);
+  obs::Histogram whole;
+  obs::Histogram parts[4];
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = dist(rng);
+    whole.record(v);
+    parts[i % 4].record(v);
+  }
+  obs::Histogram merged;
+  for (const obs::Histogram& p : parts) merged.merge(p);
+  EXPECT_EQ(whole.serialize(), merged.serialize());
+  EXPECT_EQ(whole.percentile(0.99), merged.percentile(0.99));
+}
+
+TEST(HistMerge, RegistryIsBitIdenticalAcrossThreadCounts) {
+  // The tentpole determinism contract: the same value multiset recorded
+  // through the lock-free per-thread slabs serializes byte-identically
+  // whether one thread or eight recorded it.
+  ObsGuard guard;
+  obs::set_enabled(true);
+
+  std::mt19937_64 rng(23);
+  std::uniform_int_distribution<std::int64_t> dist(0, std::int64_t{1} << 50);
+  std::vector<std::int64_t> values(10000);
+  for (std::int64_t& v : values) v = dist(rng);
+
+  obs::reset_histograms();
+  for (const std::int64_t v : values) {
+    obs::hist_record(obs::Hist::kBenchRequestNanos, v);
+  }
+  const std::string one = obs::hist_merged(obs::Hist::kBenchRequestNanos)
+                              .serialize();
+
+  obs::reset_histograms();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&values, t] {
+      // Strided partition: recording order across threads is arbitrary.
+      for (std::size_t i = static_cast<std::size_t>(t); i < values.size();
+           i += 8) {
+        obs::hist_record(obs::Hist::kBenchRequestNanos, values[i]);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const std::string eight = obs::hist_merged(obs::Hist::kBenchRequestNanos)
+                                .serialize();
+
+  EXPECT_EQ(one.size(), eight.size());
+  EXPECT_EQ(std::memcmp(one.data(), eight.data(), one.size()), 0)
+      << "per-thread slab merge is not bit-identical across thread counts";
+}
+
+TEST(HistMerge, SlowRequestWindowKeepsTopKSlowestFirst) {
+  ObsGuard guard;
+  obs::set_enabled(true);
+  for (std::int64_t id = 1; id <= 20; ++id) {
+    obs::record_slow_request(id, id * 100);
+  }
+  const std::vector<obs::SlowRequest> top = obs::take_slow_requests();
+  ASSERT_EQ(top.size(),
+            static_cast<std::size_t>(obs::kSlowRequestCapacity));
+  EXPECT_EQ(top.front().request_id, 20);  // slowest first
+  EXPECT_EQ(top.front().nanos, 2000);
+  EXPECT_EQ(top.back().request_id, 13);
+  EXPECT_TRUE(obs::take_slow_requests().empty());  // take drains the window
+}
+
+// --- Telemetry sinks (DESIGN.md §13) ----------------------------------------
+
+TEST(TelemetrySnapshotter, WritesValidJsonlAndPrometheusText) {
+  ObsGuard guard;
+  const std::string dir = testing::TempDir() + "telemetry_snapshotter";
+  {
+    obs::SnapshotterOptions options;
+    options.dir = dir;
+    options.interval_seconds = 0.01;
+    obs::MetricsSnapshotter snapshotter(options);
+    EXPECT_TRUE(obs::enabled());  // construction enables collection
+    obs::counter_add(obs::Counter::kServeRequests, 3);
+    for (const std::int64_t v : {100, 2000, 30000}) {
+      obs::hist_record(obs::Hist::kServeRequestNanos, v);
+    }
+    obs::record_slow_request(7, 30000);
+    snapshotter.snapshot_now();
+    snapshotter.stop();
+    EXPECT_GE(snapshotter.samples(), 2);  // explicit + final
+  }
+
+  // Every JSONL line parses and carries the sampled state.
+  std::ifstream jsonl(dir + "/metrics.jsonl");
+  ASSERT_TRUE(jsonl.good());
+  std::string line;
+  int lines = 0;
+  bool saw_hist = false;
+  bool saw_slow = false;
+  while (std::getline(jsonl, line)) {
+    JsonValidator v(line);
+    EXPECT_TRUE(v.valid()) << line;
+    EXPECT_NE(line.find("\"seq\""), std::string::npos);
+    EXPECT_NE(line.find("\"ts_ns\""), std::string::npos);
+    if (line.find("\"serve.request_nanos\"") != std::string::npos) {
+      saw_hist = true;
+    }
+    // JSONL lines are compact: no space after the colon.
+    if (line.find("\"request_id\":7") != std::string::npos) saw_slow = true;
+    ++lines;
+  }
+  EXPECT_GE(lines, 2);
+  EXPECT_TRUE(saw_hist);
+  EXPECT_TRUE(saw_slow);
+
+  // The Prometheus exposition: sanitized pdnn_* names, counters suffixed
+  // _total, histogram _count consistent with the +Inf bucket.
+  std::ifstream promf(dir + "/metrics.prom");
+  ASSERT_TRUE(promf.good());
+  std::stringstream buffer;
+  buffer << promf.rdbuf();
+  const std::string prom = buffer.str();
+  EXPECT_NE(prom.find("# TYPE pdnn_serve_requests_total counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("pdnn_serve_requests_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE pdnn_serve_request_nanos histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pdnn_serve_request_nanos_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pdnn_serve_request_nanos_count 3"), std::string::npos);
+  EXPECT_NE(prom.find("pdnn_serve_request_nanos_sum 32100"),
+            std::string::npos);
+  // Every sample line is `name[{le="..."}] value` or a # TYPE comment.
+  std::istringstream prom_lines(prom);
+  while (std::getline(prom_lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.compare(0, 5, "pdnn_"), 0) << line;
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    JsonValidator number(value);
+    EXPECT_TRUE(number.valid()) << line;  // numbers are valid JSON values
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryFlight, RingWrapsChronologicallyAndCountsDrops) {
+  obs::FlightRecorder recorder(8);
+  for (int i = 0; i < 20; ++i) {
+    recorder.record(obs::FlightEventKind::kMark, /*request_id=*/i);
+  }
+  EXPECT_EQ(recorder.size(), 8u);
+  EXPECT_EQ(recorder.capacity(), 8u);
+  EXPECT_EQ(recorder.dropped(), 12);
+
+  // The dump holds exactly the 8 newest events, oldest first.
+  const std::string json = recorder.to_json().dump();
+  JsonValidator v(json);
+  EXPECT_TRUE(v.valid()) << json;
+  std::size_t pos = 0;
+  std::vector<int> ids;
+  while ((pos = json.find("\"request_id\": ", pos)) != std::string::npos) {
+    pos += std::strlen("\"request_id\": ");
+    ids.push_back(std::atoi(json.c_str() + pos));
+  }
+  ASSERT_EQ(ids.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(ids[static_cast<std::size_t>(i)],
+                                        12 + i);
+
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0);
+}
+
+TEST(TelemetryFlight, AutoDumpsOnFirstRejectionOnly) {
+  obs::FlightRecorder recorder(32);
+  const std::string path = testing::TempDir() + "flight_auto_dump.json";
+  std::remove(path.c_str());
+  recorder.set_dump_path(path);
+
+  recorder.record(obs::FlightEventKind::kAdmit, 1);
+  EXPECT_FALSE(std::ifstream(path).good()) << "admit must not dump";
+
+  recorder.record(obs::FlightEventKind::kTimeout, 1, 0, 5000);
+  std::ifstream first(path);
+  ASSERT_TRUE(first.good()) << "first timeout must dump the post-mortem";
+  std::stringstream buffer;
+  buffer << first.rdbuf();
+  const std::string json = buffer.str();
+  JsonValidator v(json);
+  EXPECT_TRUE(v.valid()) << json;
+  EXPECT_NE(json.find("\"kind\": \"timeout\""), std::string::npos);
+
+  // A rejection storm must not re-dump; the file stays at 2 events even
+  // after more failures land in the ring.
+  recorder.record(obs::FlightEventKind::kOverload, 2);
+  recorder.record(obs::FlightEventKind::kTimeout, 3);
+  std::stringstream again;
+  again << std::ifstream(path).rdbuf();
+  EXPECT_EQ(again.str(), json) << "auto-dump fired more than once";
+
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryFlight, ConcurrentRecordingIsSafeAndLosslessUnderCapacity) {
+  obs::FlightRecorder recorder(4096);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&recorder, t] {
+      for (int i = 0; i < 200; ++i) {
+        recorder.record(obs::FlightEventKind::kMark, t * 1000 + i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(recorder.size(), 1600u);
+  EXPECT_EQ(recorder.dropped(), 0);
+}
+
+TEST(TelemetryFlight, FlushTelemetryWritesConfiguredSinks) {
+  ObsGuard guard;
+  const std::string path = testing::TempDir() + "flight_flush.json";
+  std::remove(path.c_str());
+  obs::flight().set_dump_path(path);
+  obs::set_enabled(true);
+  obs::flight_record(obs::FlightEventKind::kMark, 42);
+  obs::flush_telemetry();
+  std::stringstream buffer;
+  buffer << std::ifstream(path).rdbuf();
+  EXPECT_NE(buffer.str().find("\"request_id\": 42"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 // --- JSON builder ------------------------------------------------------------

@@ -18,6 +18,8 @@
 #include "core/artifact.hpp"
 #include "core/model.hpp"
 #include "core/pipeline.hpp"
+#include "obs/histogram.hpp"
+#include "obs/obs.hpp"
 #include "serve/server.hpp"
 #include "util/check.hpp"
 #include "vectors/generator.hpp"
@@ -262,6 +264,63 @@ TEST(ServeServer, StatsAndStatusStrings) {
   EXPECT_STREQ(serve::to_string(serve::Status::kOverloaded), "overloaded");
   EXPECT_STREQ(serve::to_string(serve::Status::kTimedOut), "timed_out");
   EXPECT_STREQ(serve::to_string(serve::Status::kShutdown), "shutdown");
+}
+
+TEST(ServeTelemetry, ResponsesCarryUniqueIdsAndDesignStatsAccrueWhenEnabled) {
+  Fixture f(6);
+  obs::set_enabled(true);
+  obs::reset_histograms();
+  serve::NoiseServer server;
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+
+  std::vector<std::int64_t> ids;
+  for (const auto& trace : f.traces) {
+    const serve::Response r = server.predict(id, trace);
+    EXPECT_EQ(r.status, serve::Status::kOk);
+    ids.push_back(r.request_id);
+  }
+  server.shutdown();
+
+  // Request ids are positive and strictly increasing for a single client
+  // (the counter is process-global and monotonic).
+  EXPECT_GT(ids.front(), 0);
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_GT(ids[i], ids[i - 1]) << "request ids must be unique";
+  }
+
+  // Per-design breakdown and the global serve histograms both saw all six
+  // requests.
+  const serve::NoiseServer::DesignStats ds = server.design_stats(id);
+  EXPECT_EQ(ds.name, "tiny");
+  EXPECT_EQ(ds.completed, 6);
+  EXPECT_EQ(ds.request_nanos.count(), 6);
+  EXPECT_GT(ds.request_nanos.min(), 0);
+  EXPECT_EQ(obs::hist_merged(obs::Hist::kServeRequestNanos).count(), 6);
+  EXPECT_EQ(obs::hist_merged(obs::Hist::kServePrepareNanos).count(), 6);
+  EXPECT_GE(obs::hist_merged(obs::Hist::kServeBatchWidth).count(), 1);
+
+  obs::set_enabled(false);
+  obs::reset_histograms();
+}
+
+TEST(ServeTelemetry, DisabledInstrumentationStillAssignsIdsButNoStats) {
+  obs::set_enabled(false);
+  Fixture f(3);
+  serve::NoiseServer server;
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+  std::int64_t last_id = 0;
+  for (const auto& trace : f.traces) {
+    const serve::Response r = server.predict(id, trace);
+    EXPECT_EQ(r.status, serve::Status::kOk);
+    EXPECT_GT(r.request_id, last_id);
+    last_id = r.request_id;
+  }
+  server.shutdown();
+
+  // Telemetry-only state must stay untouched when instrumentation is off.
+  const serve::NoiseServer::DesignStats ds = server.design_stats(id);
+  EXPECT_EQ(ds.completed, 0);
+  EXPECT_TRUE(ds.request_nanos.empty());
 }
 
 TEST(ServeServer, RejectsUnknownDesignAndPeekedArtifacts) {
