@@ -114,27 +114,56 @@ std::unique_ptr<store::Store> open_store(const std::string& dir) {
 void add_serve_flags(util::ArgParser& args) {
   args.add_flag("serve-clients", "8", "concurrent client threads");
   args.add_flag("serve-requests", "4", "predictions issued per client");
+  args.add_flag("serve-shards", "2",
+                "fleet worker shards (designs pin to shards by consistent "
+                "hashing; any count is bit-identical)");
+  args.add_flag("serve-designs", "2",
+                "designs registered for mixed-design traffic");
   args.add_flag("serve-batch", "8",
                 "widest fused micro-batch (requests per CNN pass; "
                 "any width is bit-identical)");
   args.add_flag("serve-queue", "64",
-                "bounded request-queue capacity (full queue rejects with "
-                "'overloaded' instead of growing)");
+                "bounded per-shard queue capacity (a full shard rejects "
+                "with 'overloaded' instead of growing)");
   args.add_flag("serve-deadline-ms", "0",
                 "per-request deadline in milliseconds (0: none); requests "
                 "still queued past it are rejected with 'timed_out'");
+  args.add_bool("serve-swap",
+                "hot-swap every design to an identical artifact mid-run "
+                "(canary -> promote) while verifying bit-identity");
+  args.add_flag("serve-canary-fraction", "0.5",
+                "fraction of a design's traffic canaried during a swap");
+  args.add_flag("serve-canary-requests", "4",
+                "clean canary comparisons required to promote a swap");
+  args.add_flag("serve-rate", "0",
+                "open-loop starting offered load in req/s (0: half the "
+                "measured serial rate)");
+  args.add_flag("serve-ramp", "4",
+                "open-loop ramp levels (offered load doubles per level)");
 }
 
 ServeFlags serve_flags_from_args(const util::ArgParser& args) {
   ServeFlags sf;
   sf.clients = args.get_int("serve-clients");
   sf.requests_per_client = args.get_int("serve-requests");
+  sf.designs = args.get_int("serve-designs");
+  sf.swap = args.get_bool("serve-swap");
+  sf.open_rate = args.get_double("serve-rate");
+  sf.ramp_steps = args.get_int("serve-ramp");
+  sf.options.num_shards = args.get_int("serve-shards");
   sf.options.max_batch = args.get_int("serve-batch");
   sf.options.queue_capacity = args.get_int("serve-queue");
-  sf.options.default_deadline_seconds =
-      args.get_double("serve-deadline-ms") * 1e-3;
+  const double deadline_ms = args.get_double("serve-deadline-ms");
+  if (deadline_ms > 0.0) {
+    sf.options.default_deadline_seconds = deadline_ms * 1e-3;
+  }
+  sf.options.canary_fraction = args.get_double("serve-canary-fraction");
+  sf.options.canary_requests = args.get_int("serve-canary-requests");
   PDN_CHECK(sf.clients > 0 && sf.requests_per_client > 0,
             "serve flags: --serve-clients and --serve-requests must be > 0");
+  PDN_CHECK(sf.designs > 0 && sf.options.num_shards > 0,
+            "serve flags: --serve-designs and --serve-shards must be > 0");
+  PDN_CHECK(sf.ramp_steps > 0, "serve flags: --serve-ramp must be > 0");
   return sf;
 }
 

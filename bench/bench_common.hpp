@@ -100,16 +100,22 @@ StoreFlags store_flags_from_args(const util::ArgParser& args);
 /// pass the raw pointer straight to core::simulate_dataset.
 std::unique_ptr<store::Store> open_store(const std::string& dir);
 
-/// Register the serving flags (--serve-clients, --serve-batch,
-/// --serve-queue, --serve-deadline-ms, --serve-requests) for drivers that
-/// embed a serve::NoiseServer.
+/// Register the serving flags (--serve-clients, --serve-requests,
+/// --serve-shards, --serve-designs, --serve-batch, --serve-queue,
+/// --serve-deadline-ms, --serve-swap, --serve-canary-fraction,
+/// --serve-canary-requests, --serve-rate, --serve-ramp) for drivers that
+/// embed a serve::NoiseServer fleet.
 void add_serve_flags(util::ArgParser& args);
 
 /// Resolved values of the add_serve_flags set.
 struct ServeFlags {
   int clients = 8;              ///< concurrent client threads
   int requests_per_client = 4;  ///< predictions issued by each client
-  serve::ServeOptions options;  ///< queue/batch/deadline configuration
+  int designs = 2;              ///< registered designs (mixed traffic)
+  bool swap = false;            ///< hot-swap each design mid-run
+  double open_rate = 0.0;       ///< first offered load (req/s); 0 = auto
+  int ramp_steps = 4;           ///< offered-load levels (doubling per step)
+  serve::ServeOptions options;  ///< shard/queue/batch/canary configuration
 };
 
 ServeFlags serve_flags_from_args(const util::ArgParser& args);

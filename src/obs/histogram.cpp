@@ -27,6 +27,7 @@ constexpr std::array<HistSpec, kHistCount> kHistSpecs = {{
     {"serve.request_nanos"},
     {"serve.batch_width"},
     {"serve.queue_depth"},
+    {"serve.swap.canary_nanos"},
     {"store.chunk_bytes"},
     {"bench.request_nanos"},
 }};

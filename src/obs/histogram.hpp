@@ -131,7 +131,8 @@ enum class Hist : int {
   kServeInferNanos,    ///< fused infer_batch wall time per batch
   kServeRequestNanos,  ///< submit → response, as observed by the client
   kServeBatchWidth,    ///< fused micro-batch widths
-  kServeQueueDepth,    ///< queue depth sampled at each admission
+  kServeQueueDepth,    ///< shard queue depth sampled at each admission
+  kServeCanaryNanos,   ///< candidate-pipeline canary inference wall time
   kStoreChunkBytes,    ///< payload sizes moving through the run store
   kBenchRequestNanos,  ///< client-measured request wall time (bench drivers)
   kCount

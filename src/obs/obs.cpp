@@ -178,6 +178,12 @@ constexpr std::array<CounterSpec, kCounterCount> kCounterSpecs = {{
     {"serve.queue_depth_max", true},
     {"serve.timeouts", false},
     {"serve.overloads", false},
+    {"serve.shard.count_max", true},
+    {"serve.swap.begun", false},
+    {"serve.swap.canaries", false},
+    {"serve.swap.divergences", false},
+    {"serve.swap.promoted", false},
+    {"serve.swap.rolled_back", false},
     {"store.hit", false},
     {"store.miss", false},
     {"store.write", false},

@@ -63,7 +63,13 @@ enum class Counter : int {
   kServeBatchWidthMax,  ///< widest fused micro-batch
   kServeQueueDepthMax,  ///< deepest observed request queue
   kServeTimeouts,       ///< requests rejected past their deadline
-  kServeOverloads,      ///< requests rejected because the queue was full
+  kServeOverloads,      ///< requests rejected because a shard queue was full
+  kServeShardsMax,      ///< shards configured on the widest serving fleet
+  kServeSwapsBegun,     ///< artifact hot-swaps initiated
+  kServeSwapCanaries,   ///< canary comparisons executed against a candidate
+  kServeSwapDivergences,///< canary comparisons whose output bytes diverged
+  kServeSwapPromotes,   ///< candidate artifacts atomically promoted
+  kServeSwapRollbacks,  ///< candidate artifacts rolled back on divergence
   kStoreHits,           ///< run-store lookups served from a verified chunk
   kStoreMisses,         ///< run-store lookups that fell through to compute
   kStoreWrites,         ///< chunks persisted into the run store

@@ -189,6 +189,9 @@ const char* flight_event_name(FlightEventKind kind) {
     case FlightEventKind::kTimeout: return "timeout";
     case FlightEventKind::kBatch: return "batch";
     case FlightEventKind::kSwap: return "swap";
+    case FlightEventKind::kCanary: return "canary";
+    case FlightEventKind::kSwapPromote: return "swap_promote";
+    case FlightEventKind::kSwapRollback: return "swap_rollback";
     case FlightEventKind::kShutdown: return "shutdown";
     case FlightEventKind::kMark: return "mark";
     case FlightEventKind::kCount: break;

@@ -84,7 +84,10 @@ enum class FlightEventKind : int {
   kOverload,  ///< request rejected, queue full (value = queue capacity)
   kTimeout,   ///< request rejected at dequeue (value = queued nanos)
   kBatch,     ///< micro-batch fused (value = width, request_id = first id)
-  kSwap,      ///< artifact swapped in (value = artifact version)
+  kSwap,      ///< artifact swap initiated (value = canary target; 0 = direct)
+  kCanary,    ///< one canary comparison (value = 1 match / 0 divergence)
+  kSwapPromote,   ///< candidate promoted (value = canary comparisons)
+  kSwapRollback,  ///< candidate rolled back (value = divergences)
   kShutdown,  ///< server drained (value = completed requests)
   kMark,      ///< free-form marker for tests/tools
   kCount

@@ -1,43 +1,71 @@
-// Concurrent micro-batching inference server (the "pdnn::serve" subsystem).
+// Sharded multi-worker inference fleet (the "pdnn::serve" subsystem).
 //
-// A NoiseServer is a long-lived object owning one ModelArtifact per design
-// (model weights + spatial/temporal compressors + distance tensor +
-// normalization, bundled by core::load_artifact). Client threads call
-// predict() concurrently; each call runs the per-request compression
-// (WorstCasePipeline::prepare) on the *caller's* thread, then hands the
-// prepared request to a single worker thread through a bounded FIFO queue.
-// The worker drains the queue into fused micro-batches — up to
-// ServeOptions::max_batch requests for the same design, taken strictly from
-// the front of the queue — and runs one WorstCasePipeline::infer_batch pass
-// per batch, amortizing im2col/GEMM across requests. Per-request outputs are
-// bit-identical to a serial predict() at any client count or batch width
-// (see pipeline.hpp; locked in by the Serve tests).
+// A NoiseServer owns one ModelArtifact per registered design (model weights
+// + spatial/temporal compressors + normalization, bundled by
+// core::load_artifact) and `ServeOptions::num_shards` worker threads. Each
+// design is pinned to exactly one shard by consistent hashing of its
+// DesignId onto a fixed ring (64 virtual points per shard), so all traffic
+// for a design flows through one worker and per-design state never needs
+// cross-shard coordination; growing the shard count remaps only the designs
+// whose ring arc moved. Each shard owns its bounded FIFO queue, fuses its
+// own micro-batches (up to ServeOptions::max_batch same-design requests
+// taken strictly from the queue front), and applies admission control
+// independently — a full shard rejects with Status::kOverloaded without
+// affecting designs pinned to other shards.
+//
+// Client API: submit() runs the per-request compression
+// (WorstCasePipeline::prepare) on the *caller's* thread, enqueues the
+// prepared request on the design's shard, and returns a movable Ticket
+// without blocking; wait() blocks on the Ticket for the Response. The
+// blocking predict() is the trivial composition wait(submit(...)). Open-loop
+// load generators use submit()/wait() directly so arrivals are never gated
+// on completions.
+//
+// Determinism: per-request outputs are bit-identical to a serial predict()
+// at any shard count, client count, and batch width. Sharding only changes
+// *which* worker fuses a request and batching only changes which requests
+// share a forward pass; conv lowers and multiplies each batch sample
+// independently (pipeline.hpp), so neither changes per-request bits —
+// locked in by the Serve/Swap tests.
+//
+// Artifact hot-swap: swap_artifact(design, path) loads a new PDNB artifact
+// and installs it as a *candidate* for that design. While canarying, a
+// configurable fraction of the design's traffic is additionally run through
+// the candidate pipeline and the output bytes are memcmp-compared against
+// the incumbent's on identical prepared inputs; the incumbent keeps
+// answering every request. After `canary_requests` clean comparisons the
+// candidate is atomically promoted (new requests prepare and infer against
+// it); one divergence rolls the candidate back and the SwapReport records
+// the divergence count. With canarying disabled (fraction <= 0 or target
+// <= 0) the swap promotes immediately. In-flight requests always complete
+// against the artifact they were prepared with, so a swap never drops,
+// duplicates, or re-answers a request.
 //
 // Robustness:
-//   * Backpressure  — the queue is bounded; when full, predict() returns
-//     Status::kOverloaded immediately instead of growing memory.
+//   * Backpressure  — per-shard bounded queues; when a design's shard is
+//     full, submit() resolves the Ticket with Status::kOverloaded.
 //   * Deadlines     — a request carries an optional deadline; if it is still
-//     queued when the deadline passes the worker rejects it with
-//     Status::kTimedOut instead of wasting a batch slot on a stale request.
-//   * Graceful drain — shutdown() stops accepting new requests, lets the
-//     worker finish everything already queued, then joins the thread. The
+//     queued when the deadline passes the shard worker rejects it with
+//     Status::kTimedOut instead of wasting a batch slot.
+//   * Graceful drain — shutdown() stops accepting new requests, lets every
+//     shard finish everything already queued, then joins the workers. The
 //     destructor calls shutdown().
 //
 // Observability: every accepted request and executed batch bumps the
-// serve.* counters (obs.hpp) and feeds the serve.* latency histograms
-// (histogram.hpp) — prepare, queue wait, fused infer, and end-to-end
-// request wall time, plus batch-width and queue-depth distributions. Each
-// request carries a process-unique monotonic id that appears in its
-// Response, in the "serve.request"/"serve.prepare"/"serve.queue"/
-// "serve.infer" trace spans (arg "req"), in the flight-recorder events
-// (telemetry.hpp), and in the slow-request exemplars, so a tail-latency
-// percentile can be chased back to one request's spans. All of it is gated
-// on obs::enabled() — disabled instrumentation costs one relaxed atomic
-// branch per site and never perturbs results.
+// serve.* counters and histograms; swap lifecycle events bump the
+// serve.swap.* counters and land in the flight recorder (kSwap/kCanary/
+// kSwapPromote/kSwapRollback), as do admissions, overloads, timeouts,
+// batches, and the final shutdown. Per-shard queue-depth histograms and
+// per-design latency histograms are server-local (shard_stats() /
+// design_stats()) and accrue only while obs::enabled(); disabled
+// instrumentation costs one relaxed atomic branch per site and never
+// perturbs results.
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,37 +78,96 @@
 
 namespace pdnn::serve {
 
-/// Terminal state of one predict() call.
+/// Terminal state of one request.
 enum class Status {
+  kInvalid,     ///< default-constructed Response; the server never returns it
   kOk,          ///< noise map computed
-  kOverloaded,  ///< rejected at enqueue: the bounded queue was full
+  kOverloaded,  ///< rejected at enqueue: the design's shard queue was full
   kTimedOut,    ///< rejected at dequeue: deadline passed while queued
   kShutdown,    ///< rejected: server is (or went) down
 };
 
 const char* to_string(Status status);
 
-struct ServeOptions {
-  /// Widest fused micro-batch (requests per infer_batch call).
-  int max_batch = 8;
-  /// Bounded queue capacity; enqueue beyond this returns kOverloaded.
-  int queue_capacity = 64;
-  /// Deadline applied when predict() is called without one; 0 disables.
-  double default_deadline_seconds = 0.0;
+/// Typed design handle. add_design() mints them; a raw request count or
+/// shard index no longer converts into a design id by accident.
+struct DesignId {
+  int value = -1;
+  constexpr bool valid() const { return value >= 0; }
+  friend constexpr bool operator==(DesignId a, DesignId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(DesignId a, DesignId b) {
+    return !(a == b);
+  }
 };
 
-/// Result of one predict() call. `noise` is defined iff status == kOk.
+struct ServeOptions {
+  /// Worker threads; each owns one queue and serves the designs whose ring
+  /// position hashes onto it.
+  int num_shards = 1;
+  /// Widest fused micro-batch (requests per infer_batch call).
+  int max_batch = 8;
+  /// Per-shard bounded queue capacity; enqueue beyond this resolves the
+  /// Ticket with kOverloaded.
+  int queue_capacity = 64;
+  /// Deadline applied when submit()/predict() is called without one;
+  /// nullopt or <= 0 disables.
+  std::optional<double> default_deadline_seconds{};
+  /// Fraction of a design's traffic canaried against a swap candidate.
+  double canary_fraction = 0.5;
+  /// Clean canary comparisons required to promote a candidate; <= 0 (or
+  /// canary_fraction <= 0) promotes immediately on swap_artifact().
+  int canary_requests = 4;
+};
+
+/// Result of one request. `noise` is defined iff status == kOk.
 struct Response {
-  Status status = Status::kShutdown;
+  Status status = Status::kInvalid;
   util::MapF noise;            ///< worst-case noise map (volts)
-  double queue_seconds = 0.0;  ///< time spent waiting in the queue
+  double queue_seconds = 0.0;  ///< time spent waiting in the shard queue
   double infer_seconds = 0.0;  ///< wall time of the fused batch this rode in
   int batch_width = 0;         ///< width of that fused batch
   int kept_steps = 0;          ///< post-Algorithm-1 steps for this request
+  int shard = -1;              ///< shard that served (or rejected) it
   std::int64_t request_id = 0; ///< process-unique id tying traces/telemetry
 };
 
-using DesignId = int;
+/// Move-only handle to one in-flight request; redeem with
+/// NoiseServer::wait(). A rejected submit (overload/shutdown) still yields a
+/// valid Ticket whose wait() returns immediately.
+class Ticket {
+ public:
+  Ticket() = default;
+  Ticket(Ticket&&) = default;
+  Ticket& operator=(Ticket&&) = default;
+
+  /// True until wait() redeems it.
+  bool valid() const { return future_.valid(); }
+  std::int64_t request_id() const { return id_; }
+
+ private:
+  friend class NoiseServer;
+  std::int64_t id_ = 0;
+  std::int64_t begin_ns_ = 0;  ///< obs clock at submit; 0 when obs is off
+  std::future<Response> future_;
+};
+
+/// Where a design's artifact hot-swap stands.
+enum class SwapState {
+  kNone,       ///< no swap ever initiated for the design
+  kCanarying,  ///< candidate installed, comparisons in progress
+  kPromoted,   ///< candidate promoted to incumbent
+  kRolledBack, ///< candidate dropped after a divergence
+};
+
+const char* to_string(SwapState state);
+
+struct SwapReport {
+  SwapState state = SwapState::kNone;
+  int canaried = 0;  ///< canary comparisons executed
+  int diverged = 0;  ///< comparisons whose output bytes differed
+};
 
 class NoiseServer {
  public:
@@ -93,40 +180,76 @@ class NoiseServer {
   /// Register a design. Takes ownership of the artifact (and its model);
   /// `grid` is captured by reference and must outlive the server. Call
   /// before issuing predictions for the returned id; thread-safe against
-  /// concurrent predict() calls on other designs.
+  /// concurrent submit()/predict() calls on other designs.
   DesignId add_design(std::string name, const pdn::PowerGrid& grid,
                       core::ModelArtifact artifact);
 
-  /// Predict the worst-case noise map for one test vector. Blocking; safe
-  /// to call from many threads concurrently. `deadline_seconds` < 0 uses
-  /// ServeOptions::default_deadline_seconds; 0 means no deadline.
-  Response predict(DesignId design, const vectors::CurrentTrace& trace,
-                   double deadline_seconds = -1.0);
+  /// Prepare one test vector on the calling thread and enqueue it on the
+  /// design's shard without blocking for the result. `deadline_seconds`
+  /// nullopt uses ServeOptions::default_deadline_seconds; a value <= 0
+  /// explicitly disables the deadline. Safe from many threads concurrently.
+  Ticket submit(DesignId design, const vectors::CurrentTrace& trace,
+                std::optional<double> deadline_seconds = std::nullopt);
 
-  /// Stop accepting requests, drain everything queued, join the worker.
+  /// Block until the ticket's request reaches a terminal state and return
+  /// its Response. Consumes the ticket (valid() becomes false).
+  Response wait(Ticket& ticket);
+
+  /// Blocking convenience: wait(submit(...)).
+  Response predict(DesignId design, const vectors::CurrentTrace& trace,
+                   std::optional<double> deadline_seconds = std::nullopt);
+
+  /// Load a PDNB artifact from `path` and begin (or, with canarying
+  /// disabled, immediately complete) a hot-swap for `design`. Returns the
+  /// swap's state at return; poll swap_report() while traffic flows to see
+  /// the canary resolve. A second swap_artifact() for the same design
+  /// abandons any unresolved candidate and starts over.
+  SwapReport swap_artifact(DesignId design, const std::string& path);
+
+  /// Current swap state for `design`.
+  SwapReport swap_report(DesignId design) const;
+
+  /// Stop accepting requests, drain every shard, join the workers.
   /// Idempotent.
   void shutdown();
 
-  /// Test hooks: while paused the worker dequeues nothing, so tests can
-  /// deterministically fill the queue (kOverloaded) or expire deadlines
+  /// Test hooks: while paused no shard dequeues, so tests can
+  /// deterministically fill a queue (kOverloaded) or expire deadlines
   /// (kTimedOut). shutdown() resumes automatically so the drain completes.
   void pause();
   void resume();
 
-  /// Requests currently waiting (excludes any batch being executed).
+  int num_shards() const { return options_.num_shards; }
+
+  /// Shard a design's traffic flows through (fixed at registration).
+  int shard_of(DesignId design) const;
+
+  /// Requests currently waiting across all shards (excludes any batch
+  /// being executed).
   int queue_depth() const;
+  /// Requests currently waiting on one shard.
+  int shard_queue_depth(int shard) const;
 
   /// Server-local totals (the obs serve.* counters are process-global).
   struct Stats {
-    std::int64_t requests = 0;   ///< accepted into the queue
+    std::int64_t requests = 0;   ///< accepted into a shard queue
     std::int64_t completed = 0;  ///< served with kOk
     std::int64_t batches = 0;    ///< fused batches executed
     std::int64_t timeouts = 0;   ///< rejected with kTimedOut
     std::int64_t overloads = 0;  ///< rejected with kOverloaded
     int batch_width_max = 0;     ///< widest fused batch
-    int queue_depth_max = 0;     ///< deepest observed queue
+    int queue_depth_max = 0;     ///< deepest observed single-shard queue
   };
+  /// Aggregate over all shards (sums; maxes of the high-water marks).
   Stats stats() const;
+
+  /// One shard's totals plus its queue-depth distribution sampled at each
+  /// admission (histogram populated only while obs::enabled()).
+  struct ShardStats {
+    Stats totals;
+    obs::Histogram queue_depth;
+  };
+  ShardStats shard_stats(int shard) const;
 
   /// Per-design serving breakdown, populated only while obs::enabled():
   /// completed-request count and the end-to-end latency histogram for one

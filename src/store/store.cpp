@@ -173,6 +173,25 @@ void Store::put(std::uint64_t key, const std::string& payload) {
                    static_cast<std::int64_t>(payload.size()));
 }
 
+std::uint64_t Store::put_file(const std::string& path) {
+  std::string payload;
+  PDN_CHECK(util::read_file(path, &payload),
+            "Store::put_file: cannot read " + path);
+  const std::uint64_t key = util::fnv1a64(payload.data(), payload.size());
+  // The key IS the content digest, so an indexed key already holds these
+  // bytes; a corrupt chunk degrades to a get_file miss and the caller
+  // re-publishes.
+  if (!contains(key)) put(key, payload);
+  return key;
+}
+
+bool Store::get_file(std::uint64_t key, const std::string& dest_path) {
+  std::string payload;
+  if (!get(key, &payload)) return false;
+  util::write_file_atomic(dest_path, payload);
+  return true;
+}
+
 bool Store::contains(std::uint64_t key) const {
   const std::lock_guard<std::mutex> lock(mu_);
   return manifest_.count(key) > 0;

@@ -61,6 +61,17 @@ class Store {
   /// append it to the manifest.
   void put(std::uint64_t key, const std::string& payload);
 
+  /// Content-addressed whole-file publish (artifact distribution): read the
+  /// file at `path`, key the chunk by the payload's own FNV-1a digest, and
+  /// return that key. Identical bytes publish once — a re-publish of an
+  /// already-indexed digest is a no-op.
+  std::uint64_t put_file(const std::string& path);
+
+  /// Fetch the chunk at `key` into `dest_path` (temp file + rename, like
+  /// every store write). Returns false on a miss — including a published
+  /// file whose chunk has since been corrupted, which evicts as usual.
+  bool get_file(std::uint64_t key, const std::string& dest_path);
+
   /// Manifest-only membership test (no chunk I/O, no verification).
   bool contains(std::uint64_t key) const;
 

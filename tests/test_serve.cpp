@@ -1,16 +1,20 @@
-// Concurrent inference-server tests. Suite names start with "Serve" so the
-// TSan CI job picks them up alongside the ThreadPool/Parallel/Obs suites.
+// Concurrent inference-fleet tests. Suite names start with "Serve" or
+// "Swap" so the TSan CI job picks them up alongside the ThreadPool/
+// Parallel/Obs suites.
 //
 // The load-bearing property: a served prediction is byte-for-byte identical
-// to the serial pipeline at every client count and batch width. The rest
-// exercises the robustness paths deterministically via pause()/resume():
-// a paused worker lets tests fill the bounded queue (overload), expire
-// deadlines (timeout), and stack requests for the shutdown drain.
+// to the serial pipeline at every shard count, client count, and batch
+// width — including across a mid-run artifact hot-swap. The rest exercises
+// the robustness paths deterministically via pause()/resume(): a paused
+// fleet lets tests fill a bounded shard queue (overload), expire deadlines
+// (timeout), and stack requests for the shutdown drain.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +24,7 @@
 #include "core/pipeline.hpp"
 #include "obs/histogram.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/server.hpp"
 #include "util/check.hpp"
 #include "vectors/generator.hpp"
@@ -84,6 +89,25 @@ struct Fixture {
   core::WorstCasePipeline pipeline() const {
     return core::WorstCasePipeline(grid, *model,
                                    core::PipelineOptions{temporal});
+  }
+
+  /// Persist `m` as a PDNB file swap_artifact() can load; caller removes it.
+  std::string artifact_file(core::WorstCaseNoiseNet& m,
+                            const std::string& tag) const {
+    const std::string path =
+        testing::TempDir() + "serve_swap_" +
+        testing::UnitTest::GetInstance()->current_test_info()->name() + "_" +
+        tag + ".pdnb";
+    core::save_artifact(m, temporal, path);
+    return path;
+  }
+
+  /// A model with different weights (fresh init seed) — its outputs diverge
+  /// from `model`'s, which is exactly what a canary must catch.
+  std::unique_ptr<core::WorstCaseNoiseNet> divergent_model() const {
+    core::ModelConfig other = config;
+    other.init_seed = config.init_seed + 1;
+    return std::make_unique<core::WorstCaseNoiseNet>(other);
   }
 
   /// Wait (bounded) for `pred` to become true while the server is paused.
@@ -326,7 +350,10 @@ TEST(ServeTelemetry, DisabledInstrumentationStillAssignsIdsButNoStats) {
 TEST(ServeServer, RejectsUnknownDesignAndPeekedArtifacts) {
   Fixture f(1);
   serve::NoiseServer server;
-  EXPECT_THROW(server.predict(3, f.traces.front()), util::CheckError);
+  EXPECT_THROW(server.predict(serve::DesignId{3}, f.traces.front()),
+               util::CheckError);
+  EXPECT_THROW(server.predict(serve::DesignId{}, f.traces.front()),
+               util::CheckError);
 
   // An artifact that was only peeked has no model to serve.
   const std::string path = testing::TempDir() + "serve_peeked.pdnb";
@@ -335,6 +362,411 @@ TEST(ServeServer, RejectsUnknownDesignAndPeekedArtifacts) {
   std::remove(path.c_str());
   EXPECT_THROW(server.add_design("tiny", f.grid, std::move(peeked)),
                util::CheckError);
+}
+
+TEST(ServeServer, DefaultResponseAndTicketAreInvalidUntilServed) {
+  const serve::Response response;
+  EXPECT_EQ(response.status, serve::Status::kInvalid);
+  EXPECT_EQ(response.shard, -1);
+  EXPECT_STREQ(serve::to_string(serve::Status::kInvalid), "invalid");
+
+  serve::Ticket ticket;
+  EXPECT_FALSE(ticket.valid());
+  EXPECT_EQ(ticket.request_id(), 0);
+
+  const serve::DesignId unset;
+  EXPECT_FALSE(unset.valid());
+}
+
+TEST(ServeServer, SubmitThenWaitMatchesSerialAndConsumesTickets) {
+  Fixture f(6);
+  const core::WorstCasePipeline pipeline = f.pipeline();
+  std::vector<util::MapF> expected;
+  for (const auto& trace : f.traces) {
+    expected.push_back(pipeline.predict(trace));
+  }
+
+  serve::NoiseServer server;
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+  // Open-loop: all submissions land before the first wait, so later
+  // requests ride fused batches without any client blocking on earlier
+  // completions.
+  std::vector<serve::Ticket> tickets;
+  for (const auto& trace : f.traces) {
+    tickets.push_back(server.submit(id, trace));
+    ASSERT_TRUE(tickets.back().valid());
+    EXPECT_GT(tickets.back().request_id(), 0);
+  }
+  for (std::size_t i = 1; i < tickets.size(); ++i) {
+    EXPECT_GT(tickets[i].request_id(), tickets[i - 1].request_id());
+  }
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const serve::Response r = server.wait(tickets[i]);
+    EXPECT_FALSE(tickets[i].valid()) << "wait() must consume the ticket";
+    ASSERT_EQ(r.status, serve::Status::kOk);
+    EXPECT_EQ(r.request_id, tickets[i].request_id());
+    EXPECT_TRUE(maps_equal(r.noise, expected[i])) << "request " << i;
+  }
+  server.shutdown();
+  EXPECT_EQ(server.stats().completed, 6);
+
+  serve::Ticket spent;
+  EXPECT_THROW(server.wait(spent), util::CheckError);
+}
+
+TEST(ServeServer, DefaultDeadlineAppliesAndExplicitNonPositiveDisables) {
+  Fixture f(2);
+  serve::ServeOptions options;
+  options.default_deadline_seconds = 1e-3;
+  serve::NoiseServer server(options);
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+
+  server.pause();
+  // First request inherits the 1 ms default; the second explicitly disables
+  // its deadline, so only the first may expire while the fleet is paused.
+  serve::Ticket with_default = server.submit(id, f.traces[0]);
+  serve::Ticket no_deadline = server.submit(id, f.traces[1], 0.0);
+  ASSERT_TRUE(Fixture::eventually([&] { return server.queue_depth() == 2; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  server.resume();
+
+  EXPECT_EQ(server.wait(with_default).status, serve::Status::kTimedOut);
+  EXPECT_EQ(server.wait(no_deadline).status, serve::Status::kOk);
+  server.shutdown();
+  EXPECT_EQ(server.stats().timeouts, 1);
+}
+
+TEST(ServeFleet, ShardAndClientCountsNeverChangeServedBytes) {
+  Fixture f(8);
+  const core::WorstCasePipeline pipeline = f.pipeline();
+  std::vector<util::MapF> expected;
+  for (const auto& trace : f.traces) {
+    expected.push_back(pipeline.predict(trace));
+  }
+
+  constexpr int kDesigns = 3;
+  for (const int shards : {1, 2, 4}) {
+    for (const int clients : {1, 8}) {
+      serve::ServeOptions options;
+      options.num_shards = shards;
+      serve::NoiseServer server(options);
+      std::vector<serve::DesignId> ids;
+      for (int d = 0; d < kDesigns; ++d) {
+        ids.push_back(server.add_design("design" + std::to_string(d), f.grid,
+                                        f.artifact()));
+        const int shard = server.shard_of(ids.back());
+        EXPECT_GE(shard, 0);
+        EXPECT_LT(shard, shards);
+      }
+
+      const std::size_t total = kDesigns * f.traces.size();
+      std::vector<serve::Response> responses(total);
+      std::vector<std::thread> workers;
+      for (int c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+          for (std::size_t i = static_cast<std::size_t>(c); i < total;
+               i += static_cast<std::size_t>(clients)) {
+            const std::size_t d = i / f.traces.size();
+            const std::size_t t = i % f.traces.size();
+            responses[i] = server.predict(ids[d], f.traces[t]);
+          }
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      server.shutdown();
+
+      for (std::size_t i = 0; i < total; ++i) {
+        const std::size_t t = i % f.traces.size();
+        ASSERT_EQ(responses[i].status, serve::Status::kOk)
+            << shards << " shards, " << clients << " clients";
+        EXPECT_TRUE(maps_equal(responses[i].noise, expected[t]))
+            << "request " << i << " at " << shards << " shards, " << clients
+            << " clients";
+        EXPECT_EQ(responses[i].shard,
+                  server.shard_of(ids[i / f.traces.size()]));
+      }
+      // Per-shard totals tile the aggregate.
+      std::int64_t completed = 0;
+      for (int s = 0; s < shards; ++s) {
+        completed += server.shard_stats(s).totals.completed;
+        EXPECT_EQ(server.shard_queue_depth(s), 0);
+      }
+      EXPECT_EQ(completed, static_cast<std::int64_t>(total));
+      EXPECT_EQ(server.stats().completed, static_cast<std::int64_t>(total));
+    }
+  }
+}
+
+TEST(ServeFleet, ShardingIsStableAcrossServersAndOverloadIsPerShard) {
+  Fixture f(1);
+  serve::ServeOptions options;
+  options.num_shards = 4;
+  options.queue_capacity = 1;
+  serve::NoiseServer server(options);
+  serve::NoiseServer other(options);
+  std::vector<serve::DesignId> ids;
+  for (int d = 0; d < 8; ++d) {
+    ids.push_back(server.add_design("d" + std::to_string(d), f.grid,
+                                    f.artifact()));
+    // The ring depends only on (shard count, design id): a second fleet
+    // routes the same design identically.
+    other.add_design("d" + std::to_string(d), f.grid, f.artifact());
+    EXPECT_EQ(server.shard_of(ids.back()), other.shard_of(ids.back()));
+  }
+  other.shutdown();
+
+  // Saturate one design's shard; a design on a *different* shard must still
+  // be admitted (its queue is independent).
+  serve::DesignId victim = ids[0];
+  serve::DesignId bystander{};
+  for (const serve::DesignId id : ids) {
+    if (server.shard_of(id) != server.shard_of(victim)) {
+      bystander = id;
+      break;
+    }
+  }
+  ASSERT_TRUE(bystander.valid()) << "8 designs on 4 shards must spread";
+
+  server.pause();
+  serve::Ticket queued = server.submit(victim, f.traces[0]);
+  serve::Ticket bounced = server.submit(victim, f.traces[0]);
+  serve::Ticket admitted = server.submit(bystander, f.traces[0]);
+  EXPECT_EQ(server.shard_queue_depth(server.shard_of(victim)), 1);
+  EXPECT_EQ(server.shard_queue_depth(server.shard_of(bystander)), 1);
+  server.resume();
+
+  EXPECT_EQ(server.wait(bounced).status, serve::Status::kOverloaded);
+  EXPECT_EQ(server.wait(queued).status, serve::Status::kOk);
+  EXPECT_EQ(server.wait(admitted).status, serve::Status::kOk);
+  server.shutdown();
+  EXPECT_EQ(server.stats().overloads, 1);
+}
+
+TEST(SwapServer, IdenticalCandidateCanariesCleanlyThenPromotes) {
+  Fixture f(8);
+  const core::WorstCasePipeline pipeline = f.pipeline();
+  serve::ServeOptions options;
+  options.canary_fraction = 1.0;
+  options.canary_requests = 3;
+  serve::NoiseServer server(options);
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+  const std::string path = f.artifact_file(*f.model, "same");
+
+  serve::SwapReport report = server.swap_artifact(id, path);
+  EXPECT_EQ(report.state, serve::SwapState::kCanarying);
+  EXPECT_EQ(server.swap_report(id).state, serve::SwapState::kCanarying);
+
+  // The incumbent answers every request while the canary runs, and the
+  // candidate is bit-identical, so every comparison is clean.
+  for (const auto& trace : f.traces) {
+    const serve::Response r = server.predict(id, trace);
+    ASSERT_EQ(r.status, serve::Status::kOk);
+    EXPECT_TRUE(maps_equal(r.noise, pipeline.predict(trace)));
+  }
+  ASSERT_TRUE(Fixture::eventually([&] {
+    return server.swap_report(id).state == serve::SwapState::kPromoted;
+  }));
+  report = server.swap_report(id);
+  EXPECT_GE(report.canaried, 3);
+  EXPECT_EQ(report.diverged, 0);
+  server.shutdown();
+  std::remove(path.c_str());
+
+  EXPECT_STREQ(serve::to_string(serve::SwapState::kNone), "none");
+  EXPECT_STREQ(serve::to_string(serve::SwapState::kCanarying), "canarying");
+  EXPECT_STREQ(serve::to_string(serve::SwapState::kPromoted), "promoted");
+  EXPECT_STREQ(serve::to_string(serve::SwapState::kRolledBack),
+               "rolled_back");
+}
+
+TEST(SwapServer, DivergentCandidateRollsBackAndIncumbentKeepsServing) {
+  Fixture f(8);
+  const core::WorstCasePipeline pipeline = f.pipeline();
+  serve::ServeOptions options;
+  options.canary_fraction = 1.0;
+  options.canary_requests = 100;  // can only resolve via divergence
+  serve::NoiseServer server(options);
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+  const std::string path = f.artifact_file(*f.divergent_model(), "diverged");
+
+  EXPECT_EQ(server.swap_artifact(id, path).state,
+            serve::SwapState::kCanarying);
+  for (const auto& trace : f.traces) {
+    const serve::Response r = server.predict(id, trace);
+    ASSERT_EQ(r.status, serve::Status::kOk);
+    // Clients never see candidate bytes, before or after the rollback.
+    EXPECT_TRUE(maps_equal(r.noise, pipeline.predict(trace)));
+  }
+  ASSERT_TRUE(Fixture::eventually([&] {
+    return server.swap_report(id).state == serve::SwapState::kRolledBack;
+  }));
+  const serve::SwapReport report = server.swap_report(id);
+  EXPECT_GE(report.diverged, 1);
+  EXPECT_GE(report.canaried, report.diverged);
+
+  const serve::Response after = server.predict(id, f.traces.front());
+  ASSERT_EQ(after.status, serve::Status::kOk);
+  EXPECT_TRUE(maps_equal(after.noise, pipeline.predict(f.traces.front())));
+  server.shutdown();
+  std::remove(path.c_str());
+}
+
+TEST(SwapServer, DisabledCanaryPromotesImmediately) {
+  Fixture f(2);
+  serve::ServeOptions options;
+  options.canary_fraction = 0.0;
+  serve::NoiseServer server(options);
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+
+  const std::unique_ptr<core::WorstCaseNoiseNet> next = f.divergent_model();
+  const std::string path = f.artifact_file(*next, "direct");
+  EXPECT_EQ(server.swap_artifact(id, path).state,
+            serve::SwapState::kPromoted);
+  std::remove(path.c_str());
+
+  // With the canary disabled the new artifact serves right away.
+  const core::WorstCasePipeline promoted(
+      f.grid, *next, core::PipelineOptions{f.temporal});
+  const serve::Response r = server.predict(id, f.traces.front());
+  ASSERT_EQ(r.status, serve::Status::kOk);
+  EXPECT_TRUE(maps_equal(r.noise, promoted.predict(f.traces.front())));
+  server.shutdown();
+}
+
+TEST(SwapUnderLoad, NeverDropsDuplicatesOrCorruptsRequests) {
+  Fixture f(8);
+  const core::WorstCasePipeline pipeline = f.pipeline();
+  std::vector<util::MapF> expected;
+  for (const auto& trace : f.traces) {
+    expected.push_back(pipeline.predict(trace));
+  }
+
+  serve::ServeOptions options;
+  options.num_shards = 2;
+  options.canary_fraction = 1.0;
+  options.canary_requests = 2;
+  serve::NoiseServer server(options);
+  constexpr int kDesigns = 2;
+  std::vector<serve::DesignId> ids;
+  for (int d = 0; d < kDesigns; ++d) {
+    ids.push_back(server.add_design("d" + std::to_string(d), f.grid,
+                                    f.artifact()));
+  }
+  const std::string path = f.artifact_file(*f.model, "load");
+
+  // 8 clients hammer both designs while the main thread hot-swaps each
+  // design to a bit-identical candidate mid-run.
+  constexpr int kClients = 8;
+  const std::size_t per_client = f.traces.size() * kDesigns;
+  std::vector<serve::Response> responses(kClients * per_client);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const std::size_t d = i % kDesigns;
+        const std::size_t t = i % f.traces.size();
+        responses[static_cast<std::size_t>(c) * per_client + i] =
+            server.predict(ids[d], f.traces[t]);
+      }
+    });
+  }
+  for (const serve::DesignId id : ids) {
+    EXPECT_EQ(server.swap_artifact(id, path).state,
+              serve::SwapState::kCanarying);
+  }
+  for (std::thread& c : clients) c.join();
+  server.shutdown();
+  std::remove(path.c_str());
+
+  // Exactly one terminal response per submission, every byte correct.
+  std::vector<std::int64_t> seen_ids;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const std::size_t t = (i % per_client) % f.traces.size();
+    ASSERT_EQ(responses[i].status, serve::Status::kOk) << "request " << i;
+    EXPECT_TRUE(maps_equal(responses[i].noise, expected[t]))
+        << "request " << i << " diverged across the hot-swap";
+    seen_ids.push_back(responses[i].request_id);
+  }
+  std::sort(seen_ids.begin(), seen_ids.end());
+  EXPECT_TRUE(std::adjacent_find(seen_ids.begin(), seen_ids.end()) ==
+              seen_ids.end())
+      << "a request was answered twice";
+  EXPECT_EQ(server.stats().completed,
+            static_cast<std::int64_t>(responses.size()));
+  for (const serve::DesignId id : ids) {
+    const serve::SwapReport report = server.swap_report(id);
+    EXPECT_EQ(report.diverged, 0);
+    EXPECT_NE(report.state, serve::SwapState::kRolledBack);
+  }
+}
+
+TEST(SwapTelemetry, LifecycleEventsLandInCountersAndFlightRecorder) {
+  Fixture f(6);
+  obs::set_enabled(true);
+  obs::flight().clear();
+  const obs::CounterSnapshot before = obs::snapshot_counters();
+
+  serve::ServeOptions options;
+  options.canary_fraction = 1.0;
+  options.canary_requests = 2;
+  serve::NoiseServer server(options);
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+  const std::string good = f.artifact_file(*f.model, "good");
+  const std::string bad = f.artifact_file(*f.divergent_model(), "bad");
+
+  server.swap_artifact(id, bad);
+  for (const auto& trace : f.traces) server.predict(id, trace);
+  ASSERT_TRUE(Fixture::eventually([&] {
+    return server.swap_report(id).state == serve::SwapState::kRolledBack;
+  }));
+  server.swap_artifact(id, good);
+  for (const auto& trace : f.traces) server.predict(id, trace);
+  ASSERT_TRUE(Fixture::eventually([&] {
+    return server.swap_report(id).state == serve::SwapState::kPromoted;
+  }));
+  server.shutdown();
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+
+  const obs::CounterSnapshot after = obs::snapshot_counters();
+  EXPECT_EQ(obs::counter_reading(before, after,
+                                 obs::Counter::kServeSwapsBegun), 2);
+  EXPECT_GE(obs::counter_reading(before, after,
+                                 obs::Counter::kServeSwapCanaries), 3);
+  EXPECT_GE(obs::counter_reading(before, after,
+                                 obs::Counter::kServeSwapDivergences), 1);
+  EXPECT_EQ(obs::counter_reading(before, after,
+                                 obs::Counter::kServeSwapPromotes), 1);
+  EXPECT_EQ(obs::counter_reading(before, after,
+                                 obs::Counter::kServeSwapRollbacks), 1);
+
+  // The flight recorder saw the full lifecycle, in order: a swap begins
+  // before its canaries, and the rollback precedes the second swap's
+  // promotion. Events are chronological in the dump, so substring
+  // positions in the compact JSON encode ordering.
+  const std::string dump = obs::flight().to_json().dump(0);
+  const auto count = [&dump](const std::string& kind) {
+    const std::string token = "\"kind\":\"" + kind + "\"";
+    int n = 0;
+    for (std::size_t at = dump.find(token); at != std::string::npos;
+         at = dump.find(token, at + token.size())) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("swap"), 2);
+  EXPECT_GE(count("canary"), 3);
+  EXPECT_EQ(count("swap_rollback"), 1);
+  EXPECT_EQ(count("swap_promote"), 1);
+  const auto first = [&dump](const std::string& kind) {
+    return dump.find("\"kind\":\"" + kind + "\"");
+  };
+  EXPECT_LT(first("swap"), first("canary"));
+  EXPECT_LT(first("swap_rollback"), first("swap_promote"));
+
+  obs::flight().clear();
+  obs::set_enabled(false);
+  obs::reset_histograms();
 }
 
 }  // namespace

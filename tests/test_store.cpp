@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "store/store.hpp"
+#include "util/check.hpp"
 #include "util/io.hpp"
 
 namespace pdnn {
@@ -244,6 +245,52 @@ TEST(Store, ConcurrentDistinctKeyWrites) {
     ASSERT_TRUE(s.get(static_cast<std::uint64_t>(k), &out));
     EXPECT_EQ(out, "w" + std::to_string(k));
   }
+}
+
+TEST(Store, PutFileIsContentAddressedAndDedupes) {
+  store::Store s(fresh_dir("put_file"));
+  const std::string src = testing::TempDir() + "/pdnn_store_src.bin";
+  const std::string payload("artifact bytes \x00\x7f", 17);
+  util::write_file_atomic(src, payload);
+
+  const std::uint64_t key = s.put_file(src);
+  EXPECT_TRUE(s.contains(key));
+  EXPECT_EQ(s.size(), 1u);
+  // Same bytes → same key, no second chunk, no second write.
+  EXPECT_EQ(s.put_file(src), key);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.stats().writes, 1);
+
+  const std::string dest = testing::TempDir() + "/pdnn_store_dest.bin";
+  ASSERT_TRUE(s.get_file(key, dest));
+  std::string fetched;
+  ASSERT_TRUE(util::read_file(dest, &fetched));
+  EXPECT_EQ(fetched, payload);
+
+  std::remove(src.c_str());
+  std::remove(dest.c_str());
+}
+
+TEST(Store, GetFileMissesOnUnknownKeyAndCorruptChunk) {
+  store::Store s(fresh_dir("get_file_miss"));
+  const std::string dest = testing::TempDir() + "/pdnn_store_no_dest.bin";
+  EXPECT_FALSE(s.get_file(99, dest));
+  EXPECT_FALSE(util::file_exists(dest));
+
+  const std::string src = testing::TempDir() + "/pdnn_store_corrupt_src.bin";
+  util::write_file_atomic(src, "published artifact");
+  const std::uint64_t key = s.put_file(src);
+  stomp_bytes(s.chunk_path(key), 40, "XX");  // payload region
+  EXPECT_FALSE(s.get_file(key, dest));
+  EXPECT_FALSE(util::file_exists(dest));
+  EXPECT_EQ(s.stats().evicts, 1);
+  std::remove(src.c_str());
+}
+
+TEST(Store, PutFileOfUnreadablePathThrows) {
+  store::Store s(fresh_dir("put_file_bad"));
+  EXPECT_THROW(s.put_file(testing::TempDir() + "/pdnn_no_such_file.bin"),
+               util::CheckError);
 }
 
 }  // namespace
