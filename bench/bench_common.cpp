@@ -140,6 +140,10 @@ void add_serve_flags(util::ArgParser& args) {
                 "measured serial rate)");
   args.add_flag("serve-ramp", "4",
                 "open-loop ramp levels (offered load doubles per level)");
+  args.add_flag("serve-swap-tolerance-mv", "0",
+                "per-node canary tolerance in mV for hot-swapping a "
+                "candidate whose weight dtype differs from the incumbent's "
+                "(fp32 vs int8/fp16); 0 refuses cross-dtype canaries");
 }
 
 ServeFlags serve_flags_from_args(const util::ArgParser& args) {
@@ -159,6 +163,8 @@ ServeFlags serve_flags_from_args(const util::ArgParser& args) {
   }
   sf.options.canary_fraction = args.get_double("serve-canary-fraction");
   sf.options.canary_requests = args.get_int("serve-canary-requests");
+  sf.options.swap_tolerance_volts =
+      args.get_double("serve-swap-tolerance-mv") * 1e-3;
   PDN_CHECK(sf.clients > 0 && sf.requests_per_client > 0,
             "serve flags: --serve-clients and --serve-requests must be > 0");
   PDN_CHECK(sf.designs > 0 && sf.options.num_shards > 0,

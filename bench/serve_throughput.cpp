@@ -13,9 +13,16 @@
 //      the fleet sees true offered load; the highest achieved goodput
 //      across the ramp is reported as the saturation rate.
 //
-// BENCH_serve.json gains `saturation_requests_per_second` plus per-rate
-// rows with client-observed p50/p95/p99; the CI gate reads the saturation
-// figure.
+// The run also calibrates and writes an int8 PDNB v2 candidate from the
+// same trained model, reruns the open-loop ramp against an int8 fleet (the
+// fp32-vs-int8 saturation comparison), and — when a cross-dtype canary
+// tolerance is set via --serve-swap-tolerance-mv — hot-swaps the int8
+// candidate over the fp32 incumbent through the canary path and verifies
+// the post-promote maps match the int8 serial bits.
+//
+// BENCH_serve.json gains `saturation_requests_per_second` (fp32) and
+// `saturation_requests_per_second_int8` plus per-rate rows with
+// client-observed p50/p95/p99; the CI gate reads the saturation figures.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -29,6 +36,8 @@
 
 #include "bench_common.hpp"
 #include "core/artifact.hpp"
+#include "quant/calibrate.hpp"
+#include "quant/dtype.hpp"
 #include "serve/server.hpp"
 #include "util/io.hpp"
 
@@ -247,6 +256,40 @@ int main(int argc, char** argv) {
   core::save_artifact(*ex.model, temporal, artifact_path);
   const core::ModelArtifact artifact = core::load_artifact(artifact_path);
 
+  // Int8 candidate built from the same trained model: calibrate activation
+  // ranges on the training split, then write the PDNB v2 artifact.
+  const std::string int8_path = artifact_path + ".int8";
+  {
+    quant::ActivationCalibrator calibrator;
+    const core::WorstCasePipeline calib_pipe(
+        *ex.grid, *ex.model, core::PipelineOptions{temporal});
+    for (const int idx : ex.data.split.train) {
+      core::PreparedRequest request;
+      request.currents =
+          ex.data.samples[static_cast<std::size_t>(idx)].currents;
+      calib_pipe.infer(request);
+    }
+    core::save_artifact_int8(*ex.model, temporal, calibrator.result(),
+                             int8_path);
+  }
+
+  // Startup artifact report straight from the headers — peek_artifact reads
+  // version/dtype/config without touching the weight payload.
+  for (const std::string& path : {artifact_path, int8_path}) {
+    const core::ModelArtifact head = core::peek_artifact(path);
+    std::printf("artifact: %s v%u dtype=%s tiles=%dx%d\n", path.c_str(),
+                head.version, quant::dtype_name(head.dtype),
+                head.config.tile_rows, head.config.tile_cols);
+  }
+  metrics.set("artifact_version", static_cast<std::int64_t>(
+                                      core::peek_artifact(artifact_path).version));
+  metrics.set("artifact_dtype",
+              quant::dtype_name(core::peek_artifact(artifact_path).dtype));
+  metrics.set("artifact_int8_version",
+              static_cast<std::int64_t>(core::peek_artifact(int8_path).version));
+  metrics.set("artifact_int8_dtype",
+              quant::dtype_name(core::peek_artifact(int8_path).dtype));
+
   // Swap candidates are fetched from the content-addressed store when one
   // is configured (the artifact-distribution path a real fleet would use);
   // otherwise the PDNB file itself is the swap source.
@@ -302,9 +345,29 @@ int main(int argc, char** argv) {
   }
   const double seed_seconds = serial_timer.lap("bench.serve_serial_seed");
   const double seed_rps = total_requests / seed_seconds;
+
+  // Int8 serial baseline: the quantized pipeline's own reference bits (the
+  // int8 fleet runs and the post-swap maps are verified against these) and
+  // its single-thread rate.
+  const core::ModelArtifact int8_artifact = core::load_artifact(int8_path);
+  const core::WorstCasePipeline int8_pipeline(
+      *ex.grid, *int8_artifact.model,
+      core::PipelineOptions{int8_artifact.temporal});
+  std::vector<util::MapF> expected_int8(
+      static_cast<std::size_t>(total_requests));
+  int8_pipeline.predict(traces.front());  // warm-up
+  serial_timer.reset();
+  for (int i = 0; i < total_requests; ++i) {
+    expected_int8[static_cast<std::size_t>(i)] =
+        int8_pipeline.predict(traces[static_cast<std::size_t>(i)]);
+  }
+  const double int8_seconds = serial_timer.lap("bench.serve_serial_int8");
+  const double serial_int8_rps = total_requests / int8_seconds;
+
   metrics.lap("serial_baseline");
   metrics.set("serial_requests_per_second", serial_rps);
   metrics.set("serial_seed_requests_per_second", seed_rps);
+  metrics.set("serial_int8_requests_per_second", serial_int8_rps);
   metrics.set("hardware_threads",
               static_cast<std::int64_t>(std::thread::hardware_concurrency()));
 
@@ -321,6 +384,9 @@ int main(int argc, char** argv) {
               seed_seconds, seed_rps, "-", "-", "-", "-", "-", "-");
   std::printf("%-16s %10.4f %10.2f %8s %7s %7s %7s %7s %7s\n", "serial",
               serial_seconds, serial_rps, "1.00", "-", "-", "-", "-", "-");
+  std::printf("%-16s %10.4f %10.2f %8.2f %7s %7s %7s %7s %7s\n", "serial-int8",
+              int8_seconds, serial_int8_rps, serial_int8_rps / serial_rps, "-",
+              "-", "-", "-", "-");
 
   // 4) Closed-loop verification: shard counts {1, S} × client counts, mixed
   //    designs, optional mid-run hot-swap. Every map must match the serial
@@ -478,7 +544,63 @@ int main(int argc, char** argv) {
   }
   metrics.lap("closed_loop");
 
-  // 5) Open-loop saturation search: ramp the offered rate (doubling per
+  // 5) Cross-dtype hot-swap: with a canary tolerance configured, promote
+  //    the int8 candidate over the fp32 incumbent through the canary path.
+  //    During the canary the fp32 incumbent answers; after promotion the
+  //    responses must be the int8 pipeline's exact bits, and the recorded
+  //    divergence must sit inside the tolerance (else the canary would have
+  //    rolled it back).
+  if (serve_flags.options.swap_tolerance_volts > 0.0 &&
+      serve_flags.options.canary_fraction > 0.0 &&
+      serve_flags.options.canary_requests > 0) {
+    bool swap_ok = true;
+    serve::NoiseServer server(serve_flags.options);
+    const serve::DesignId id = server.add_design(
+        ex.spec.name + "#xdtype", *ex.grid, core::load_artifact(artifact_path));
+    server.swap_artifact(id, int8_path);
+    const int drive_cap = 16 * serve_flags.options.canary_requests;
+    for (int i = 0; i < drive_cap && server.swap_report(id).state ==
+                                        serve::SwapState::kCanarying;
+         ++i) {
+      server.predict(id, traces[static_cast<std::size_t>(i) % traces.size()]);
+    }
+    const serve::SwapReport report = server.swap_report(id);
+    if (report.state != serve::SwapState::kPromoted) swap_ok = false;
+    for (int i = 0; i < 4 && swap_ok; ++i) {
+      const auto t = static_cast<std::size_t>(i);
+      const serve::Response r = server.predict(id, traces[t]);
+      if (r.status != serve::Status::kOk ||
+          !maps_equal(r.noise, expected_int8[t])) {
+        swap_ok = false;
+      }
+    }
+    server.shutdown();
+    std::printf(
+        "%-16s state=%s canaried=%d diverged=%d max_div=%.4fmV "
+        "tol=%.4fmV%s\n",
+        "swap:fp32->int8", serve::to_string(report.state), report.canaried,
+        report.diverged, report.max_divergence_volts * 1e3,
+        serve_flags.options.swap_tolerance_volts * 1e3,
+        swap_ok ? "" : "  [MISMATCH]");
+    if (!swap_ok) {
+      std::printf(
+          "MISMATCH: cross-dtype swap did not promote to the int8 bits\n");
+    }
+    all_match = all_match && swap_ok;
+
+    obs::JsonValue run = obs::JsonValue::object();
+    run.set("mode", "cross_dtype_swap");
+    run.set("state", serve::to_string(report.state));
+    run.set("canaried", report.canaried);
+    run.set("diverged", report.diverged);
+    run.set("max_divergence_mv", report.max_divergence_volts * 1e3);
+    run.set("tolerance_mv", serve_flags.options.swap_tolerance_volts * 1e3);
+    run.set("promoted_bits_match_int8_serial", swap_ok);
+    metrics.add_design(std::move(run));
+    metrics.lap("cross_dtype_swap");
+  }
+
+  // 6) Open-loop saturation search: ramp the offered rate (doubling per
   //    level) and record goodput + client-observed latency at each level.
   //    Saturation = the highest achieved goodput anywhere on the ramp.
   const double first_rate = serve_flags.open_rate > 0.0
@@ -533,10 +655,65 @@ int main(int argc, char** argv) {
   }
   all_match = all_match && open_match;
   metrics.lap("open_loop");
+
+  // 7) Same ramp against an all-int8 fleet: the fp32-vs-int8 saturation
+  //    comparison. Maps are verified against the int8 serial bits — the
+  //    quantized path is exactly as deterministic as the fp32 one.
+  double saturation_int8_rps = 0.0;
+  LatencySummary saturation_int8_latency;
+  bool int8_match = true;
+  {
+    serve::NoiseServer server(serve_flags.options);
+    std::vector<serve::DesignId> ids;
+    for (int d = 0; d < serve_flags.designs; ++d) {
+      ids.push_back(server.add_design(
+          ex.spec.name + "-int8#" + std::to_string(d), *ex.grid,
+          core::load_artifact(int8_path)));
+    }
+    double rate = first_rate;
+    for (int step = 0; step < serve_flags.ramp_steps; ++step, rate *= 2.0) {
+      const OpenLoopResult r = run_open_loop(
+          server, ids, traces, expected_int8, rate, open_total, open_threads,
+          /*seed=*/0x9e3779b9u + static_cast<std::uint64_t>(step));
+      int8_match = int8_match && r.bit_identical;
+      if (r.achieved_rps > saturation_int8_rps) {
+        saturation_int8_rps = r.achieved_rps;
+        saturation_int8_latency = r.latency;
+      }
+      std::printf(
+          "%-16s %10.2f %10.2f %8d %7d %7.2f %7.2f %7.2f %7.2f%s\n",
+          ("int8:" + std::to_string(step)).c_str(), r.offered_rps,
+          r.achieved_rps, r.ok, r.overloaded, r.latency.p50, r.latency.p95,
+          r.latency.p99, r.latency.max,
+          r.bit_identical ? "" : "  [MISMATCH]");
+
+      obs::JsonValue run = obs::JsonValue::object();
+      run.set("mode", "open_loop_int8");
+      run.set("offered_requests_per_second", r.offered_rps);
+      run.set("achieved_requests_per_second", r.achieved_rps);
+      run.set("seconds", r.seconds);
+      run.set("ok", r.ok);
+      run.set("overloaded", r.overloaded);
+      run.set("other", r.other);
+      run.set("latency_ms", latency_json(r.latency));
+      run.set("bit_identical", r.bit_identical);
+      metrics.add_design(std::move(run));
+    }
+    server.shutdown();
+  }
+  all_match = all_match && int8_match;
+  metrics.lap("open_loop_int8");
+  std::printf("saturation: fp32 %.2f req/s, int8 %.2f req/s (%.2fx)\n",
+              saturation_rps, saturation_int8_rps,
+              saturation_rps > 0.0 ? saturation_int8_rps / saturation_rps
+                                   : 0.0);
+
   metrics.set("bit_identical", all_match);
   metrics.set("best_speedup_vs_serial", best_speedup);
   metrics.set("saturation_requests_per_second", saturation_rps);
+  metrics.set("saturation_requests_per_second_int8", saturation_int8_rps);
   metrics.set("latency_ms", latency_json(saturation_latency));
+  metrics.set("latency_ms_int8", latency_json(saturation_int8_latency));
   metrics.finish();
   if (swap_path != artifact_path) std::remove(swap_path.c_str());
 

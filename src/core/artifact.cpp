@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "nn/serialize.hpp"
+#include "quant/serialize.hpp"
 #include "store/container.hpp"
 #include "util/check.hpp"
 
@@ -16,14 +17,19 @@ using store::write_field;
 
 constexpr char kMagic[5] = "PDNB";
 constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionQuant = 2;
 
 /// Header reader shared by peek_artifact and load_artifact; leaves the
 /// stream positioned at the weight block.
 ModelArtifact read_header(std::istream& in, const std::string& path) {
   store::check_magic(in, kMagic, path);
-  store::check_version(in, kVersion, path);
+  const auto version = read_field<std::uint32_t>(in, path, "version");
+  PDN_CHECK(version == kVersion || version == kVersionQuant,
+            "unsupported version " + std::to_string(version) + " in " + path +
+                " (expected 1 or 2; field 'version')");
 
   ModelArtifact art;
+  art.version = version;
   art.config.distance_channels =
       read_field<std::int32_t>(in, path, "distance_channels");
   art.config.tile_rows = read_field<std::int32_t>(in, path, "tile_rows");
@@ -36,6 +42,15 @@ ModelArtifact read_header(std::istream& in, const std::string& path) {
   art.config.init_seed = read_field<std::uint64_t>(in, path, "init_seed");
   art.temporal.rate = read_field<double>(in, path, "temporal.rate");
   art.temporal.rate_step = read_field<double>(in, path, "temporal.rate_step");
+  if (version == kVersionQuant) {
+    const auto dtype = read_field<std::uint32_t>(in, path, "dtype");
+    PDN_CHECK(
+        dtype == static_cast<std::uint32_t>(quant::ParamDtype::kF16) ||
+            dtype == static_cast<std::uint32_t>(quant::ParamDtype::kInt8),
+        "load_artifact: unknown v2 dtype " + std::to_string(dtype) + " in " +
+            path + " (field 'dtype'; expected 1=fp16 or 2=int8)");
+    art.dtype = static_cast<quant::ParamDtype>(dtype);
+  }
 
   PDN_CHECK(art.config.distance_channels > 0 && art.config.tile_rows > 0 &&
                 art.config.tile_cols > 0 && art.config.c1 > 0 &&
@@ -46,16 +61,14 @@ ModelArtifact read_header(std::istream& in, const std::string& path) {
   return art;
 }
 
-}  // namespace
-
-void save_artifact(WorstCaseNoiseNet& model,
-                   const TemporalCompressionOptions& temporal,
-                   const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  PDN_CHECK(out.good(), "save_artifact: cannot open " + path);
+/// Write the common header (magic through temporal options) for the given
+/// container version.
+void write_header(std::ostream& out, std::uint32_t version,
+                  const ModelConfig& c,
+                  const TemporalCompressionOptions& temporal,
+                  const std::string& path) {
   store::write_magic(out, kMagic);
-  write_field(out, kVersion);
-  const ModelConfig& c = model.config();
+  write_field(out, version);
   write_field(out, static_cast<std::int32_t>(c.distance_channels));
   write_field(out, static_cast<std::int32_t>(c.tile_rows));
   write_field(out, static_cast<std::int32_t>(c.tile_cols));
@@ -68,7 +81,52 @@ void save_artifact(WorstCaseNoiseNet& model,
   write_field(out, temporal.rate);
   write_field(out, temporal.rate_step);
   PDN_CHECK(out.good(), "save_artifact: header write failed for " + path);
+}
+
+/// Weight-block reader shared by load_artifact and load_model: dispatches on
+/// the version/dtype the header announced.
+void load_weights(const ModelArtifact& art,
+                  const std::vector<nn::Parameter*>& params, std::istream& in,
+                  const std::string& path) {
+  if (art.version == kVersion) {
+    nn::load_parameters(params, in, path);
+  } else if (art.dtype == quant::ParamDtype::kF16) {
+    quant::read_f16_block(params, in, path);
+  } else {
+    quant::read_int8_block(params, in, path);
+  }
+}
+
+}  // namespace
+
+void save_artifact(WorstCaseNoiseNet& model,
+                   const TemporalCompressionOptions& temporal,
+                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  PDN_CHECK(out.good(), "save_artifact: cannot open " + path);
+  write_header(out, kVersion, model.config(), temporal, path);
   nn::save_parameters(model.parameters(), out, path);
+}
+
+void save_artifact_f16(WorstCaseNoiseNet& model,
+                       const TemporalCompressionOptions& temporal,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  PDN_CHECK(out.good(), "save_artifact_f16: cannot open " + path);
+  write_header(out, kVersionQuant, model.config(), temporal, path);
+  write_field(out, static_cast<std::uint32_t>(quant::ParamDtype::kF16));
+  quant::write_f16_block(model.parameters(), out, path);
+}
+
+void save_artifact_int8(WorstCaseNoiseNet& model,
+                        const TemporalCompressionOptions& temporal,
+                        const quant::CalibrationResult& calibration,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  PDN_CHECK(out.good(), "save_artifact_int8: cannot open " + path);
+  write_header(out, kVersionQuant, model.config(), temporal, path);
+  write_field(out, static_cast<std::uint32_t>(quant::ParamDtype::kInt8));
+  quant::write_int8_block(model.parameters(), calibration, out, path);
 }
 
 ModelArtifact load_artifact(const std::string& path) {
@@ -76,7 +134,7 @@ ModelArtifact load_artifact(const std::string& path) {
   PDN_CHECK(in.good(), "load_artifact: cannot open " + path);
   ModelArtifact art = read_header(in, path);
   art.model = std::make_unique<WorstCaseNoiseNet>(art.config);
-  nn::load_parameters(art.model->parameters(), in, path);
+  load_weights(art, art.model->parameters(), in, path);
   return art;
 }
 
@@ -109,7 +167,7 @@ void load_model(WorstCaseNoiseNet& model, const std::string& path) {
                 stored.config.c1 == own.c1 && stored.config.c2 == own.c2 &&
                 stored.config.c3 == own.c3,
             "load_model: architecture mismatch for " + path);
-  nn::load_parameters(model.parameters(), in, path);
+  load_weights(stored, model.parameters(), in, path);
 }
 
 }  // namespace pdnn::core

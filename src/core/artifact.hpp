@@ -5,12 +5,17 @@
 // Layout (little-endian, fixed field order):
 //
 //   magic  "PDNB"                     4 bytes
-//   u32    version (= 1)
+//   u32    version (1 = fp32, 2 = quantized storage)
 //   i32    distance_channels, tile_rows, tile_cols, c1, c2, c3
 //   f32    current_scale, noise_scale
 //   u64    init_seed
 //   f64    temporal.rate, temporal.rate_step
-//   "PDNW" weight block               (nn/serialize layout)
+//   -- version 1 --
+//   "PDNW" fp32 weight block          (nn/serialize layout)
+//   -- version 2 --
+//   u32    dtype                      (quant::ParamDtype: 1=fp16, 2=int8)
+//   "PDNH" fp16 weight block, or
+//   "PDNQ" int8 weight block + "PDNA" activation scales (quant/serialize)
 //
 // Every read is checked; truncation, a bad magic, or a shape mismatch throws
 // util::CheckError naming the offending field. The field read/write and
@@ -24,6 +29,8 @@
 
 #include "core/model.hpp"
 #include "core/temporal.hpp"
+#include "quant/calibrate.hpp"
+#include "quant/dtype.hpp"
 
 namespace pdnn::core {
 
@@ -33,21 +40,37 @@ namespace pdnn::core {
 struct ModelArtifact {
   ModelConfig config;
   TemporalCompressionOptions temporal;
+  std::uint32_t version = 1;                             ///< container version
+  quant::ParamDtype dtype = quant::ParamDtype::kF32;     ///< weight storage
   std::unique_ptr<WorstCaseNoiseNet> model;
 };
 
 /// Write model config + compressor options + normalization + weights as one
-/// "PDNB" file.
+/// v1 (fp32) "PDNB" file.
 void save_artifact(WorstCaseNoiseNet& model,
                    const TemporalCompressionOptions& temporal,
                    const std::string& path);
 
-/// Read a "PDNB" file, rebuild the model architecture from the stored
-/// config, and load the weights into it.
+/// Write a v2 artifact with fp16 weight storage (half the size; weights are
+/// expanded back to fp32 at load, inference runs the fp32 path).
+void save_artifact_f16(WorstCaseNoiseNet& model,
+                       const TemporalCompressionOptions& temporal,
+                       const std::string& path);
+
+/// Write a v2 artifact with symmetric per-tensor int8 weights plus the
+/// static activation scales from `calibration`; conv layers with calibrated
+/// activations run the int8 GEMM at inference after loading.
+void save_artifact_int8(WorstCaseNoiseNet& model,
+                        const TemporalCompressionOptions& temporal,
+                        const quant::CalibrationResult& calibration,
+                        const std::string& path);
+
+/// Read a "PDNB" file (any supported version), rebuild the model
+/// architecture from the stored config, and load the weights into it.
 ModelArtifact load_artifact(const std::string& path);
 
-/// Read only the header (config + compressor options) without constructing
-/// a model.
+/// Read only the header (config + compressor options + version/dtype)
+/// without constructing a model or touching the weight payload.
 ModelArtifact peek_artifact(const std::string& path);
 
 }  // namespace pdnn::core

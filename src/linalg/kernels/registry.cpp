@@ -30,7 +30,8 @@ KernelBackend resolve_default() {
       const KernelBackend forced = parse_backend(env);
       PDN_CHECK(backend_supported(forced),
                 std::string("PDNN_KERNEL=") + env +
-                    ": backend not supported on this machine");
+                    ": backend not supported on this machine (supported: " +
+                    supported_backend_names() + ")");
       return forced;
     }
   }
@@ -55,8 +56,20 @@ KernelBackend parse_backend(const std::string& name) {
   if (name == "scalar") return KernelBackend::kScalar;
   if (name == "avx2") return KernelBackend::kAvx2;
   PDN_CHECK(false, "unknown kernel backend '" + name +
-                       "' (expected scalar|avx2)");
+                       "' (valid names: scalar|avx2; supported here: " +
+                       supported_backend_names() + ")");
   return KernelBackend::kScalar;  // unreachable
+}
+
+std::string supported_backend_names() {
+  std::string names;
+  for (int b = 0; b < kKernelBackendCount; ++b) {
+    const KernelBackend backend = static_cast<KernelBackend>(b);
+    if (!backend_supported(backend)) continue;
+    if (!names.empty()) names += '|';
+    names += backend_name(backend);
+  }
+  return names;
 }
 
 bool backend_compiled(KernelBackend backend) {
@@ -83,7 +96,8 @@ KernelBackend active_backend() {
 void force_backend(KernelBackend backend) {
   PDN_CHECK(backend_supported(backend),
             std::string("--kernel ") + backend_name(backend) +
-                ": backend not supported on this machine");
+                ": backend not supported on this machine (supported: " +
+                supported_backend_names() + ")");
   g_forced.store(static_cast<int>(backend), std::memory_order_relaxed);
 }
 

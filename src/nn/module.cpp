@@ -29,7 +29,8 @@ std::int64_t Module::num_parameters() {
 
 Parameter* Module::register_parameter(std::string name, Tensor init) {
   own_.push_back(std::make_unique<Parameter>(Parameter{
-      std::move(name), Var(std::move(init), /*requires_grad=*/true)}));
+      std::move(name), Var(std::move(init), /*requires_grad=*/true),
+      /*quant=*/nullptr}));
   return own_.back().get();
 }
 
@@ -74,6 +75,13 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
 }
 
 Var Conv2d::forward(const Var& x) const {
+  if (detail::activation_observer_armed()) {
+    detail::observe_activation(weight_->name, x.value());
+  }
+  if (weight_->quant != nullptr) {
+    return quantized_conv2d(x, *weight_->quant, weight_->var, bias_->var,
+                            stride_, pad_, pad_mode_);
+  }
   return conv2d(x, weight_->var, bias_->var, stride_, pad_, pad_mode_);
 }
 

@@ -1,0 +1,54 @@
+#include "nn/quant_state.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <utility>
+
+namespace pdnn::nn {
+
+namespace {
+
+std::atomic<bool> g_observer_armed{false};
+
+std::mutex& observer_mu() {
+  static auto* mu = new std::mutex();
+  return *mu;
+}
+
+std::function<void(const std::string&, float)>& observer_fn() {
+  static auto* fn = new std::function<void(const std::string&, float)>();
+  return *fn;
+}
+
+}  // namespace
+
+void set_activation_observer(
+    std::function<void(const std::string&, float)> fn) {
+  std::lock_guard<std::mutex> lock(observer_mu());
+  observer_fn() = std::move(fn);
+  g_observer_armed.store(static_cast<bool>(observer_fn()),
+                         std::memory_order_release);
+}
+
+namespace detail {
+
+bool activation_observer_armed() {
+  return g_observer_armed.load(std::memory_order_relaxed);
+}
+
+void observe_activation(const std::string& param_name, const Tensor& x) {
+  float absmax = 0.0f;
+  const float* d = x.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float a = std::fabs(d[i]);
+    if (a > absmax) absmax = a;
+  }
+  std::lock_guard<std::mutex> lock(observer_mu());
+  if (observer_fn()) observer_fn()(param_name, absmax);
+}
+
+}  // namespace detail
+
+}  // namespace pdnn::nn

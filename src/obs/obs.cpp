@@ -164,6 +164,7 @@ constexpr std::array<CounterSpec, kCounterCount> kCounterSpecs = {{
     {"gemm.calls", false},
     {"gemm.flops", false},
     {"gemm.avx2", false},
+    {"gemm.s8", false},
     {"kernel.packed_bytes", false},
     {"conv.im2col_bytes_max", true},
     {"conv.fused", false},

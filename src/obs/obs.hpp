@@ -50,6 +50,7 @@ enum class Counter : int {
   kGemmCalls,           ///< gemm_{nn,nt,tn} calls
   kGemmFlops,           ///< 2*m*n*k multiply-add FLOPs summed
   kGemmAvx2Calls,       ///< gemm calls dispatched to the AVX2 backend
+  kGemmS8Calls,         ///< int8 gemm calls (quantized conv lowering)
   kKernelPackedBytes,   ///< bytes staged into packed B panels / conv planes
   kConvIm2colBytesMax,  ///< largest per-thread im2col scratch buffer
   kConvFusedCalls,      ///< conv samples computed by the fused 3x3 path

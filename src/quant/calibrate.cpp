@@ -1,0 +1,36 @@
+#include "quant/calibrate.hpp"
+
+#include <atomic>
+
+#include "nn/quant_state.hpp"
+#include "util/check.hpp"
+
+namespace pdnn::quant {
+
+namespace {
+std::atomic<bool> g_calibrating{false};
+}  // namespace
+
+ActivationCalibrator::ActivationCalibrator() {
+  bool expected = false;
+  PDN_CHECK(g_calibrating.compare_exchange_strong(expected, true),
+            "ActivationCalibrator: another calibrator is already active "
+            "(the activation observer is process-global)");
+  nn::set_activation_observer([this](const std::string& name, float absmax) {
+    std::lock_guard<std::mutex> lock(mu_);
+    float& entry = absmax_[name];
+    if (absmax > entry) entry = absmax;
+  });
+}
+
+ActivationCalibrator::~ActivationCalibrator() {
+  nn::set_activation_observer(nullptr);
+  g_calibrating.store(false);
+}
+
+CalibrationResult ActivationCalibrator::result() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CalibrationResult{absmax_};
+}
+
+}  // namespace pdnn::quant

@@ -1,0 +1,30 @@
+#include "quant/dtype.hpp"
+
+#include "util/check.hpp"
+
+namespace pdnn::quant {
+
+const char* dtype_name(ParamDtype dtype) {
+  switch (dtype) {
+    case ParamDtype::kF32:
+      return "fp32";
+    case ParamDtype::kF16:
+      return "fp16";
+    case ParamDtype::kInt8:
+      return "int8";
+  }
+  PDN_CHECK(false, "dtype_name: unknown ParamDtype value " +
+                       std::to_string(static_cast<std::uint32_t>(dtype)));
+  return "";
+}
+
+ParamDtype parse_dtype(const std::string& name) {
+  if (name == "fp32") return ParamDtype::kF32;
+  if (name == "fp16") return ParamDtype::kF16;
+  if (name == "int8") return ParamDtype::kInt8;
+  PDN_CHECK(false, "unknown artifact dtype '" + name +
+                       "' (valid names: fp32|fp16|int8)");
+  return ParamDtype::kF32;
+}
+
+}  // namespace pdnn::quant

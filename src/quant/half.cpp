@@ -1,0 +1,77 @@
+#include "quant/half.hpp"
+
+#include <cstring>
+
+namespace pdnn::quant {
+
+std::uint16_t f32_to_f16(float value) {
+  std::uint32_t f;
+  std::memcpy(&f, &value, sizeof(f));
+  const std::uint16_t sign = static_cast<std::uint16_t>((f >> 16) & 0x8000u);
+  const std::uint32_t abs = f & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {
+    // Inf / NaN: keep NaN-ness by forcing a mantissa bit.
+    const std::uint16_t mant =
+        (abs > 0x7f800000u) ? static_cast<std::uint16_t>(0x0200u) : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | mant);
+  }
+  if (abs >= 0x47800000u) {  // >= 65536.0f overflows the half range
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs >= 0x38800000u) {
+    // Normal half. Rebias the exponent by subtracting (127-15) << 23, then
+    // the top bits line up with the half layout after a 13-bit shift; round
+    // the 13 dropped mantissa bits to nearest even. A carry out of the
+    // mantissa increments the exponent, which is exactly right (65504+
+    // rounds through here to infinity).
+    const std::uint32_t base = abs - 0x38000000u;
+    std::uint32_t out = base >> 13;
+    const std::uint32_t low = base & 0x1fffu;
+    if (low > 0x1000u || (low == 0x1000u && (out & 1u))) ++out;
+    return static_cast<std::uint16_t>(sign | out);
+  }
+  if (abs < 0x33000000u) {  // < 2^-25: below half of the smallest subnormal
+    return sign;
+  }
+  // Subnormal half: express |x| in units of 2^-24 (the subnormal ulp) and
+  // round to nearest even. sh is in (13, 24].
+  const std::uint32_t m = (abs & 0x007fffffu) | 0x00800000u;
+  const int sh = 126 - static_cast<int>(abs >> 23);
+  std::uint32_t out = m >> sh;
+  const std::uint32_t rem = m & ((1u << sh) - 1u);
+  const std::uint32_t half_ulp = 1u << (sh - 1);
+  if (rem > half_ulp || (rem == half_ulp && (out & 1u))) ++out;
+  return static_cast<std::uint16_t>(sign | out);
+}
+
+float f16_to_f32(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1fu;
+  const std::uint32_t mant = bits & 0x3ffu;
+  std::uint32_t f;
+  if (exp == 0u) {
+    if (mant == 0u) {
+      f = sign;  // signed zero
+    } else {
+      // Subnormal half: shift the leading 1 up to the implicit position,
+      // decrementing the exponent per shift.
+      std::uint32_t e = 113u;
+      std::uint32_t m = mant;
+      while ((m & 0x400u) == 0u) {
+        m <<= 1;
+        --e;
+      }
+      f = sign | (e << 23) | ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1fu) {
+    f = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    f = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  float out;
+  std::memcpy(&out, &f, sizeof(out));
+  return out;
+}
+
+}  // namespace pdnn::quant

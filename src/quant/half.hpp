@@ -1,0 +1,18 @@
+// Scalar IEEE 754 binary16 <-> binary32 conversion for fp16-storage
+// artifacts. Software bit manipulation (no F16C dependency): conversion
+// happens once at save/load, never on the inference hot path, and the
+// scalar routine is deterministic on every build.
+#pragma once
+
+#include <cstdint>
+
+namespace pdnn::quant {
+
+/// Round-to-nearest-even float32 -> float16 bits. Overflow goes to
+/// infinity, subnormals are rounded like any other value, NaN stays NaN.
+std::uint16_t f32_to_f16(float value);
+
+/// Exact float16 bits -> float32 (every binary16 value is representable).
+float f16_to_f32(std::uint16_t bits);
+
+}  // namespace pdnn::quant

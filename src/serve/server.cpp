@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -47,9 +48,24 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
-bool maps_equal(const util::MapF& a, const util::MapF& b) {
-  return a.rows() == b.rows() && a.cols() == b.cols() &&
-         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+/// Canary comparison. With tolerance <= 0 (same-dtype swap) the maps must be
+/// byte-identical. With a positive tolerance (cross-dtype swap) every node
+/// must agree within `tolerance` volts; the largest |a - b| seen is folded
+/// into *max_diff either way the comparison resolves. A NaN anywhere fails.
+bool maps_close(const util::MapF& a, const util::MapF& b, double tolerance,
+                double* max_diff) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  if (tolerance <= 0.0) {
+    return std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+  }
+  bool within = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = std::fabs(static_cast<double>(a.data()[i]) -
+                               static_cast<double>(b.data()[i]));
+    if (d > *max_diff) *max_diff = d;
+    if (!(d <= tolerance)) within = false;  // NaN compares false -> fail
+  }
+  return within;
 }
 
 /// Process-unique monotonic request ids, shared by every NoiseServer so one
@@ -102,6 +118,7 @@ struct NoiseServer::Impl {
     std::shared_ptr<DesignEntry> candidate;  // non-null while canarying
     SwapReport swap;
     double canary_accum = 0.0;   ///< deterministic fraction accumulator
+    double swap_tolerance = 0.0; ///< volts; > 0 only for cross-dtype swaps
     std::int64_t swap_seq = 0;   ///< invalidates stale canary results
 
     // Telemetry-only (accrues while obs::enabled()).
@@ -242,11 +259,13 @@ struct NoiseServer::Impl {
       DesignSlot* slot = width > 0 ? batch.front().slot : nullptr;
       std::shared_ptr<DesignEntry> candidate;
       std::int64_t swap_seq = 0;
+      double swap_tolerance = 0.0;
       std::vector<char> canary_mask;
       if (slot != nullptr && slot->candidate &&
           batch.front().entry == slot->active) {
         candidate = slot->candidate;
         swap_seq = slot->swap_seq;
+        swap_tolerance = slot->swap_tolerance;
         canary_mask.assign(static_cast<std::size_t>(width), 0);
         int pending = options_.canary_requests - slot->swap.canaried;
         for (int i = 0; i < width && pending > 0; ++i) {
@@ -344,6 +363,7 @@ struct NoiseServer::Impl {
       // a divergence — it must not be promoted.
       int compared = 0;
       int diverged = 0;
+      double max_diff = 0.0;
       if (candidate) {
         for (int i = 0; i < width; ++i) {
           if (!canary_mask[static_cast<std::size_t>(i)]) continue;
@@ -354,7 +374,8 @@ struct NoiseServer::Impl {
             const util::MapF canary_map = candidate->pipeline.infer(
                 batch[static_cast<std::size_t>(i)].prepared);
             match =
-                maps_equal(canary_map, canary_ref[static_cast<std::size_t>(i)]);
+                maps_close(canary_map, canary_ref[static_cast<std::size_t>(i)],
+                           swap_tolerance, &max_diff);
           } catch (...) {
             match = false;
           }
@@ -382,6 +403,8 @@ struct NoiseServer::Impl {
         // newer swap_artifact() superseded the candidate mid-flight).
         slot->swap.canaried += compared;
         slot->swap.diverged += diverged;
+        slot->swap.max_divergence_volts =
+            std::max(slot->swap.max_divergence_volts, max_diff);
         if (diverged > 0) {
           slot->candidate.reset();
           slot->swap.state = SwapState::kRolledBack;
@@ -566,6 +589,7 @@ SwapReport NoiseServer::swap_artifact(DesignId design,
   core::ModelArtifact artifact = core::load_artifact(path);
   PDN_CHECK(artifact.model != nullptr,
             "NoiseServer::swap_artifact: artifact has no model");
+  const quant::ParamDtype incoming_dtype = artifact.dtype;
   auto entry = std::make_shared<Impl::DesignEntry>(*slot->grid,
                                                    std::move(artifact));
   Impl::Shard& shard = *impl_->shards_[static_cast<std::size_t>(slot->shard)];
@@ -575,8 +599,25 @@ SwapReport NoiseServer::swap_artifact(DesignId design,
   std::lock_guard<std::mutex> lock(shard.mu);
   PDN_CHECK(!shard.stopping,
             "NoiseServer::swap_artifact: server is shut down");
+  // A candidate storing weights in a different dtype than the incumbent
+  // cannot reproduce the incumbent's bytes; canarying it needs an explicit
+  // accuracy budget.
+  const bool cross_dtype = incoming_dtype != slot->active->artifact.dtype;
+  if (!direct && cross_dtype) {
+    PDN_CHECK(
+        options_.swap_tolerance_volts > 0.0,
+        "NoiseServer::swap_artifact: candidate dtype (" +
+            std::string(quant::dtype_name(incoming_dtype)) +
+            ") differs from the incumbent's (" +
+            quant::dtype_name(slot->active->artifact.dtype) +
+            "); canarying a cross-dtype swap requires "
+            "ServeOptions::swap_tolerance_volts > 0 (or disable canarying "
+            "to promote directly)");
+  }
   ++slot->swap_seq;  // invalidates canary verdicts for a superseded swap
   slot->canary_accum = 0.0;
+  slot->swap_tolerance =
+      cross_dtype ? options_.swap_tolerance_volts : 0.0;
   slot->swap = SwapReport{};
   obs::counter_add(obs::Counter::kServeSwapsBegun, 1);
   obs::flight_record(obs::FlightEventKind::kSwap, 0, slot->id.value,

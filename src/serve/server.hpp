@@ -41,6 +41,16 @@
 // against the artifact they were prepared with, so a swap never drops,
 // duplicates, or re-answers a request.
 //
+// Cross-dtype swaps: when the candidate's weight storage differs from the
+// incumbent's (e.g. promoting an int8 PDNB v2 over the fp32 incumbent),
+// byte-identical outputs are impossible by construction, so the canary
+// compares worst-case maps under an explicit absolute tolerance —
+// ServeOptions::swap_tolerance_volts — instead of memcmp, and the
+// SwapReport records the largest per-node divergence seen. Starting a
+// canaried cross-dtype swap with the tolerance unset (<= 0) throws: the
+// operator must state the accuracy budget, it is never inferred. Same-dtype
+// swaps keep the exact byte comparison.
+//
 // Robustness:
 //   * Backpressure  — per-shard bounded queues; when a design's shard is
 //     full, submit() resolves the Ticket with Status::kOverloaded.
@@ -119,6 +129,11 @@ struct ServeOptions {
   /// Clean canary comparisons required to promote a candidate; <= 0 (or
   /// canary_fraction <= 0) promotes immediately on swap_artifact().
   int canary_requests = 4;
+  /// Absolute per-node noise-map tolerance (volts) for canarying a swap
+  /// whose candidate stores weights in a different dtype than the incumbent
+  /// (fp32 vs int8/fp16). <= 0 means cross-dtype canaries are refused;
+  /// same-dtype swaps always compare exact bytes regardless.
+  double swap_tolerance_volts = 0.0;
 };
 
 /// Result of one request. `noise` is defined iff status == kOk.
@@ -166,7 +181,11 @@ const char* to_string(SwapState state);
 struct SwapReport {
   SwapState state = SwapState::kNone;
   int canaried = 0;  ///< canary comparisons executed
-  int diverged = 0;  ///< comparisons whose output bytes differed
+  int diverged = 0;  ///< comparisons that failed (bytes or tolerance)
+  /// Largest per-node |candidate - incumbent| (volts) across the swap's
+  /// canary comparisons. Only populated for cross-dtype swaps (exact swaps
+  /// compare bytes and report 0).
+  double max_divergence_volts = 0.0;
 };
 
 class NoiseServer {

@@ -25,6 +25,7 @@
 #include "obs/histogram.hpp"
 #include "obs/obs.hpp"
 #include "obs/telemetry.hpp"
+#include "quant/calibrate.hpp"
 #include "serve/server.hpp"
 #include "util/check.hpp"
 #include "vectors/generator.hpp"
@@ -99,6 +100,24 @@ struct Fixture {
         testing::UnitTest::GetInstance()->current_test_info()->name() + "_" +
         tag + ".pdnb";
     core::save_artifact(m, temporal, path);
+    return path;
+  }
+
+  /// Persist an int8-quantized artifact of `model`, calibrated by replaying
+  /// this fixture's traces; caller removes the file.
+  std::string int8_artifact_file(const std::string& tag) const {
+    const std::string path =
+        testing::TempDir() + "serve_swap_" +
+        testing::UnitTest::GetInstance()->current_test_info()->name() + "_" +
+        tag + ".int8.pdnb";
+    quant::CalibrationResult calibration;
+    {
+      quant::ActivationCalibrator calibrator;
+      const core::WorstCasePipeline calib = pipeline();
+      for (const auto& trace : traces) calib.predict(trace);
+      calibration = calibrator.result();
+    }
+    core::save_artifact_int8(*model, temporal, calibration, path);
     return path;
   }
 
@@ -631,6 +650,127 @@ TEST(SwapServer, DisabledCanaryPromotesImmediately) {
   ASSERT_EQ(r.status, serve::Status::kOk);
   EXPECT_TRUE(maps_equal(r.noise, promoted.predict(f.traces.front())));
   server.shutdown();
+}
+
+TEST(SwapServer, CrossDtypeSwapRequiresExplicitTolerance) {
+  Fixture f(4);
+  serve::ServeOptions options;
+  options.canary_fraction = 1.0;  // canary on, but swap_tolerance_volts == 0
+  serve::NoiseServer server(options);
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+  const std::string path = f.int8_artifact_file("untol");
+  try {
+    server.swap_artifact(id, path);
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fp32"), std::string::npos) << what;
+    EXPECT_NE(what.find("int8"), std::string::npos) << what;
+    EXPECT_NE(what.find("tolerance"), std::string::npos) << what;
+  }
+  // The rejected swap left the incumbent untouched and serving.
+  EXPECT_EQ(server.swap_report(id).state, serve::SwapState::kNone);
+  EXPECT_EQ(server.predict(id, f.traces.front()).status, serve::Status::kOk);
+  server.shutdown();
+  std::remove(path.c_str());
+}
+
+TEST(SwapServer, CrossDtypeCanaryPromotesWithinToleranceThenServesInt8Bits) {
+  Fixture f(8);
+  const core::WorstCasePipeline fp32_pipeline = f.pipeline();
+  const std::string path = f.int8_artifact_file("promote");
+
+  // Serial int8 reference: the post-promote fleet must reproduce these
+  // bytes, and the canary tolerance is derived from the actual divergence.
+  const core::ModelArtifact int8_artifact = core::load_artifact(path);
+  const core::WorstCasePipeline int8_pipeline(
+      f.grid, *int8_artifact.model, core::PipelineOptions{f.temporal});
+  double true_divergence = 0.0;
+  std::vector<util::MapF> expected_int8;
+  for (const auto& trace : f.traces) {
+    const util::MapF fp32 = fp32_pipeline.predict(trace);
+    expected_int8.push_back(int8_pipeline.predict(trace));
+    const util::MapF& int8 = expected_int8.back();
+    for (std::size_t i = 0; i < fp32.size(); ++i) {
+      true_divergence = std::max(
+          true_divergence, std::abs(static_cast<double>(fp32.data()[i]) -
+                                    static_cast<double>(int8.data()[i])));
+    }
+  }
+  ASSERT_GT(true_divergence, 0.0) << "int8 candidate should not be "
+                                     "bit-identical to the fp32 incumbent";
+
+  serve::ServeOptions options;
+  options.canary_fraction = 1.0;
+  options.canary_requests = 3;
+  options.swap_tolerance_volts = true_divergence * 2.0;
+  serve::NoiseServer server(options);
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+  EXPECT_EQ(server.swap_artifact(id, path).state,
+            serve::SwapState::kCanarying);
+
+  // Every response is exactly one of the two models' bytes: the fp32
+  // incumbent while canarying, the int8 candidate once promoted mid-loop.
+  for (std::size_t i = 0; i < f.traces.size(); ++i) {
+    const serve::Response r = server.predict(id, f.traces[i]);
+    ASSERT_EQ(r.status, serve::Status::kOk);
+    EXPECT_TRUE(maps_equal(r.noise, fp32_pipeline.predict(f.traces[i])) ||
+                maps_equal(r.noise, expected_int8[i]))
+        << "request " << i << " returned neither incumbent nor candidate "
+        << "bytes";
+  }
+  ASSERT_TRUE(Fixture::eventually([&] {
+    return server.swap_report(id).state == serve::SwapState::kPromoted;
+  }));
+  const serve::SwapReport report = server.swap_report(id);
+  EXPECT_EQ(report.diverged, 0);
+  EXPECT_GE(report.canaried, 3);
+  EXPECT_GT(report.max_divergence_volts, 0.0);
+  EXPECT_LE(report.max_divergence_volts, options.swap_tolerance_volts);
+
+  // Post-promote responses are byte-identical to the serial int8 pipeline.
+  for (std::size_t i = 0; i < f.traces.size(); ++i) {
+    const serve::Response r = server.predict(id, f.traces[i]);
+    ASSERT_EQ(r.status, serve::Status::kOk);
+    EXPECT_TRUE(maps_equal(r.noise, expected_int8[i])) << "request " << i;
+  }
+  server.shutdown();
+  std::remove(path.c_str());
+}
+
+TEST(SwapServer, CrossDtypeDivergenceBeyondToleranceRollsBack) {
+  Fixture f(6);
+  const core::WorstCasePipeline fp32_pipeline = f.pipeline();
+  const std::string path = f.int8_artifact_file("rollback");
+
+  serve::ServeOptions options;
+  options.canary_fraction = 1.0;
+  options.canary_requests = 100;  // can only resolve via divergence
+  options.swap_tolerance_volts = 1e-12;  // quantization error dwarfs this
+  serve::NoiseServer server(options);
+  const serve::DesignId id = server.add_design("tiny", f.grid, f.artifact());
+  EXPECT_EQ(server.swap_artifact(id, path).state,
+            serve::SwapState::kCanarying);
+
+  for (const auto& trace : f.traces) {
+    const serve::Response r = server.predict(id, trace);
+    ASSERT_EQ(r.status, serve::Status::kOk);
+    EXPECT_TRUE(maps_equal(r.noise, fp32_pipeline.predict(trace)));
+  }
+  ASSERT_TRUE(Fixture::eventually([&] {
+    return server.swap_report(id).state == serve::SwapState::kRolledBack;
+  }));
+  const serve::SwapReport report = server.swap_report(id);
+  EXPECT_GE(report.diverged, 1);
+  EXPECT_GT(report.max_divergence_volts, options.swap_tolerance_volts);
+
+  // The fp32 incumbent keeps serving its exact bytes after the rollback.
+  const serve::Response after = server.predict(id, f.traces.front());
+  ASSERT_EQ(after.status, serve::Status::kOk);
+  EXPECT_TRUE(
+      maps_equal(after.noise, fp32_pipeline.predict(f.traces.front())));
+  server.shutdown();
+  std::remove(path.c_str());
 }
 
 TEST(SwapUnderLoad, NeverDropsDuplicatesOrCorruptsRequests) {

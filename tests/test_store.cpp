@@ -293,5 +293,93 @@ TEST(Store, PutFileOfUnreadablePathThrows) {
                util::CheckError);
 }
 
+TEST(Store, GetFilePartialChunkWriteDegradesToMissAndRepublishHeals) {
+  // A chunk cut off mid-payload — the shape a torn write would leave if the
+  // temp+rename discipline were ever violated — must read as a miss, and a
+  // re-publish of the same bytes must fully heal the store.
+  store::Store s(fresh_dir("get_file_partial"));
+  const std::string src = testing::TempDir() + "/pdnn_store_partial_src.bin";
+  const std::string payload("published artifact payload bytes");
+  util::write_file_atomic(src, payload);
+  const std::uint64_t key = s.put_file(src);
+  truncate_file(s.chunk_path(key), 35);  // 32-byte header + 3 payload bytes
+
+  const std::string dest = testing::TempDir() + "/pdnn_store_partial_dest";
+  EXPECT_FALSE(s.get_file(key, dest));
+  EXPECT_FALSE(util::file_exists(dest));
+  EXPECT_EQ(s.stats().evicts, 1);
+  EXPECT_FALSE(s.contains(key));
+
+  // Content addressing: same bytes, same key, fresh chunk.
+  EXPECT_EQ(s.put_file(src), key);
+  ASSERT_TRUE(s.get_file(key, dest));
+  std::string fetched;
+  ASSERT_TRUE(util::read_file(dest, &fetched));
+  EXPECT_EQ(fetched, payload);
+  std::remove(src.c_str());
+  std::remove(dest.c_str());
+}
+
+TEST(Store, GetFileTruncatedHeaderDegradesToMiss) {
+  store::Store s(fresh_dir("get_file_header"));
+  const std::string src = testing::TempDir() + "/pdnn_store_header_src.bin";
+  util::write_file_atomic(src, "header casualty");
+  const std::uint64_t key = s.put_file(src);
+  truncate_file(s.chunk_path(key), 20);  // mid-header, before the checksum
+
+  const std::string dest = testing::TempDir() + "/pdnn_store_header_dest";
+  EXPECT_FALSE(s.get_file(key, dest));
+  EXPECT_FALSE(util::file_exists(dest));
+  EXPECT_EQ(s.stats().evicts, 1);
+  std::remove(src.c_str());
+}
+
+TEST(Store, GetFileCorruptChunkLeavesExistingDestUntouched) {
+  // Degrade-to-miss must not clobber whatever the caller already has at the
+  // destination: verification happens before any byte lands there.
+  store::Store s(fresh_dir("get_file_keep_dest"));
+  const std::string src = testing::TempDir() + "/pdnn_store_keep_src.bin";
+  util::write_file_atomic(src, "replacement artifact");
+  const std::uint64_t key = s.put_file(src);
+
+  const std::string dest = testing::TempDir() + "/pdnn_store_keep_dest";
+  util::write_file_atomic(dest, "incumbent artifact");
+  stomp_bytes(s.chunk_path(key), 40, "XX");  // payload region
+  EXPECT_FALSE(s.get_file(key, dest));
+  std::string kept;
+  ASSERT_TRUE(util::read_file(dest, &kept));
+  EXPECT_EQ(kept, "incumbent artifact");
+  std::remove(src.c_str());
+  std::remove(dest.c_str());
+}
+
+TEST(Store, StaleTempFileFromCrashedWriteIsIgnoredAcrossReopen) {
+  // Crash-mid-put leaves a *.tmp residue next to the chunks. It must never
+  // be indexed, served, or break a reopen.
+  const std::string dir = fresh_dir("stale_tmp");
+  std::uint64_t key = 0;
+  const std::string payload("surviving artifact");
+  {
+    store::Store s(dir);
+    const std::string src = testing::TempDir() + "/pdnn_store_tmp_src.bin";
+    util::write_file_atomic(src, payload);
+    key = s.put_file(src);
+    std::remove(src.c_str());
+    // Simulate the torn write: a partial header under a temp name.
+    std::ofstream tmp(s.chunk_path(key) + ".tmp", std::ios::binary);
+    tmp.write("PDNC\x01", 5);
+  }
+  store::Store reopened(dir);
+  EXPECT_EQ(reopened.size(), 1u);
+  EXPECT_TRUE(reopened.contains(key));
+  const std::string dest = testing::TempDir() + "/pdnn_store_tmp_dest";
+  ASSERT_TRUE(reopened.get_file(key, dest));
+  std::string fetched;
+  ASSERT_TRUE(util::read_file(dest, &fetched));
+  EXPECT_EQ(fetched, payload);
+  EXPECT_EQ(reopened.stats().evicts, 0);
+  std::remove(dest.c_str());
+}
+
 }  // namespace
 }  // namespace pdnn
